@@ -1,0 +1,245 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact), plus ablation benchmarks for
+// the design choices called out in DESIGN.md. Ablations report an
+// "accuracy%" metric alongside timing so the quality impact of each
+// design choice is visible in benchmark output.
+package mxmap_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mxmap/internal/analysis"
+	"mxmap/internal/core"
+	"mxmap/internal/dataset"
+	"mxmap/internal/experiments"
+	"mxmap/internal/world"
+)
+
+// benchState shares one measured world across all benchmarks.
+type benchState struct {
+	study *experiments.Study
+	snap  *dataset.Snapshot // alexa, most recent date
+	truth map[string]string
+}
+
+var (
+	benchOnce sync.Once
+	bench     benchState
+)
+
+func benchSetup(b *testing.B) *benchState {
+	b.Helper()
+	benchOnce.Do(func() {
+		study, err := experiments.NewStudy(world.Config{Seed: 17, Scale: 0.005})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.study = study
+		ctx := context.Background()
+		snap, err := study.Snapshot(ctx, world.CorpusAlexa, study.LastDate(world.CorpusAlexa))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.snap = snap
+		corpus := study.World.Corpus(world.CorpusAlexa)
+		dateIdx := corpus.DateIndex(study.LastDate(world.CorpusAlexa))
+		bench.truth = make(map[string]string, len(corpus.Domains))
+		for _, d := range corpus.Domains {
+			t := study.World.TruthCompany(d, dateIdx)
+			if t == d.Name {
+				t = analysis.SelfHostedLabel
+			}
+			bench.truth[d.Name] = t
+		}
+	})
+	if bench.study == nil {
+		b.Fatal("bench setup failed")
+	}
+	return &bench
+}
+
+// BenchmarkFig4Accuracy regenerates the Figure 4 accuracy comparison.
+func BenchmarkFig4Accuracy(b *testing.B) {
+	s := benchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.study.Fig4(ctx, 100, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Breakdown regenerates the Table 4 availability
+// breakdown across all corpora.
+func BenchmarkTable4Breakdown(b *testing.B) {
+	s := benchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.study.Table4(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5ProviderIDs regenerates the Table 5 inventory.
+func BenchmarkTable5ProviderIDs(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.study.Table5()
+	}
+}
+
+// BenchmarkFig5MarketShare regenerates the Figure 5 segment rankings.
+func BenchmarkFig5MarketShare(b *testing.B) {
+	s := benchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.study.Fig5(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Longitudinal regenerates all nine Figure 6 panels
+// (25 corpus-snapshots measured on first iteration, cached afterwards;
+// the benchmark therefore reports steady-state recomputation cost).
+func BenchmarkFig6Longitudinal(b *testing.B) {
+	s := benchSetup(b)
+	ctx := context.Background()
+	if _, err := s.study.Fig6(ctx); err != nil { // warm the snapshot cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.study.Fig6(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Churn regenerates the Figure 7 churn matrix.
+func BenchmarkFig7Churn(b *testing.B) {
+	s := benchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.study.Fig7(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8CCTLD regenerates the Figure 8 national-preference matrix.
+func BenchmarkFig8CCTLD(b *testing.B) {
+	s := benchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.study.Fig8(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6Top15 regenerates the Table 6 company ranking.
+func BenchmarkTable6Top15(b *testing.B) {
+	s := benchSetup(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.study.Table6(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// accuracyOf grades one inference configuration against ground truth,
+// over domains that really have mail service.
+func accuracyOf(s *benchState, approach core.Approach, cfg core.Config) float64 {
+	res := core.Infer(s.snap, approach, cfg)
+	correct, total := 0, 0
+	for _, att := range res.Domains {
+		truth := s.truth[att.Domain]
+		if truth == "" {
+			continue
+		}
+		total++
+		if analysis.CompanyOf(att.Domain, att.Primary(), s.study.World.Directory) == truth {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(correct) / float64(total)
+}
+
+// BenchmarkAblationFull is the reference point: the complete
+// priority-based methodology.
+func BenchmarkAblationFull(b *testing.B) {
+	s := benchSetup(b)
+	cfg := core.Config{Profiles: s.study.Profiles}
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = accuracyOf(s, core.ApproachPriority, cfg)
+	}
+	b.ReportMetric(acc, "accuracy%")
+}
+
+// BenchmarkAblationNoCertGrouping disables step 1's FQDN-overlap
+// grouping (each certificate is its own identity).
+func BenchmarkAblationNoCertGrouping(b *testing.B) {
+	s := benchSetup(b)
+	cfg := core.Config{Profiles: s.study.Profiles, DisableCertGrouping: true}
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = accuracyOf(s, core.ApproachPriority, cfg)
+	}
+	b.ReportMetric(acc, "accuracy%")
+}
+
+// BenchmarkAblationPriorityOrder swaps the cert-first priority for
+// banner-first.
+func BenchmarkAblationPriorityOrder(b *testing.B) {
+	s := benchSetup(b)
+	cfg := core.Config{Profiles: s.study.Profiles, PreferBannerOverCert: true}
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = accuracyOf(s, core.ApproachPriority, cfg)
+	}
+	b.ReportMetric(acc, "accuracy%")
+}
+
+// BenchmarkAblationNoStep4 disables the misidentification check.
+func BenchmarkAblationNoStep4(b *testing.B) {
+	s := benchSetup(b)
+	cfg := core.Config{} // no profiles: step 4 cannot run
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = accuracyOf(s, core.ApproachPriority, cfg)
+	}
+	b.ReportMetric(acc, "accuracy%")
+}
+
+// BenchmarkAblationStrictBannerAgreement requires banner and EHLO to
+// agree before deriving an identity (the strict Figure 3 reading).
+func BenchmarkAblationStrictBannerAgreement(b *testing.B) {
+	s := benchSetup(b)
+	cfg := core.Config{Profiles: s.study.Profiles, RequireBannerEHLOAgreement: true}
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = accuracyOf(s, core.ApproachPriority, cfg)
+	}
+	b.ReportMetric(acc, "accuracy%")
+}

@@ -1,0 +1,159 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section against a freshly generated, calibrated world:
+//
+//	Figure 4  — approach accuracy on sampled domains
+//	Table 4   — data availability breakdown
+//	Table 5   — provider IDs per company
+//	Figure 5  — top companies per corpus segment
+//	Figure 6  — longitudinal market share (nine panels)
+//	Figure 7  — churn flow matrix
+//	Figure 8  — provider preferences by ccTLD
+//	Table 6   — top 15 companies per corpus
+//
+// Artifacts are printed and, with -out, written as .txt files.
+//
+// Usage:
+//
+//	experiments [-scale 0.05] [-seed 1] [-out results/] [-only fig4,table6]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mxmap/internal/experiments"
+	"mxmap/internal/report"
+	"mxmap/internal/world"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 0.05, "fraction of the paper's corpus sizes to simulate")
+		seed   = flag.Uint64("seed", 1, "world generation seed")
+		outDir = flag.String("out", "", "directory to write artifacts into (optional)")
+		only   = flag.String("only", "", "comma-separated subset: fig4,table4,table5,fig5,fig6,fig7,fig8,table6")
+		sample = flag.Int("sample", 200, "Figure 4 sample size per corpus variant")
+	)
+	flag.Parse()
+
+	wanted := func(name string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, part := range strings.Split(*only, ",") {
+			if strings.TrimSpace(part) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "generating world (scale=%.3f seed=%d)...\n", *scale, *seed)
+	study, err := experiments.NewStudy(world.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+	fmt.Fprintf(os.Stderr, "world ready in %v (%d hosts)\n", time.Since(start).Round(time.Millisecond), len(study.World.Hosts))
+
+	ctx := context.Background()
+	emitTable := func(name string, t *report.Table, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := t.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		writeArtifact(*outDir, name+".txt", func(f *os.File) error { return t.WriteText(f) })
+		writeArtifact(*outDir, name+".csv", func(f *os.File) error { return t.WriteCSV(f) })
+	}
+
+	if wanted("fig4") {
+		t, err := study.Fig4(ctx, *sample, *seed)
+		emitTable("fig4_accuracy", t, err)
+	}
+	if wanted("table4") {
+		t, err := study.Table4(ctx)
+		emitTable("table4_breakdown", t, err)
+	}
+	if wanted("table5") {
+		emitTable("table5_provider_ids", study.Table5(), nil)
+	}
+	if wanted("fig5") {
+		t, err := study.Fig5(ctx)
+		emitTable("fig5_top_companies", t, err)
+	}
+	if wanted("fig6") {
+		charts, err := study.Fig6(ctx)
+		if err != nil {
+			log.Fatalf("fig6: %v", err)
+		}
+		for _, c := range charts {
+			if err := c.WriteText(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+		writeArtifact(*outDir, "fig6_longitudinal.txt", func(f *os.File) error {
+			for _, c := range charts {
+				if err := c.WriteText(f); err != nil {
+					return err
+				}
+				fmt.Fprintln(f)
+			}
+			return nil
+		})
+		for i, c := range charts {
+			c := c
+			writeArtifact(*outDir, fmt.Sprintf("fig6%c_longitudinal.svg", 'a'+i), func(f *os.File) error {
+				return c.WriteSVG(f)
+			})
+		}
+	}
+	if wanted("fig7") {
+		t, err := study.Fig7(ctx)
+		emitTable("fig7_churn", t, err)
+	}
+	if wanted("fig8") {
+		t, err := study.Fig8(ctx)
+		emitTable("fig8_cctld", t, err)
+	}
+	if wanted("table6") {
+		t, err := study.Table6(ctx)
+		emitTable("table6_top15", t, err)
+	}
+	if wanted("spf") {
+		t, err := study.ExtSPF(ctx)
+		emitTable("ext_spf_eventual_provider", t, err)
+	}
+	if wanted("concentration") {
+		t, err := study.ExtConcentration(ctx)
+		emitTable("ext_concentration", t, err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func writeArtifact(dir, name string, write func(*os.File) error) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Command mxmap runs the mail-provider inference methodology over a
+// measured snapshot (as written by mxscan) and reports either the
+// per-domain attributions or the aggregated provider ranking.
+//
+// Usage:
+//
+//	mxmap [-approach priority] [-top 15] [-domains] snapshot.jsonl
+//
+// Approaches: mx, cert, banner, priority (the paper's §3.3 comparison).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"mxmap/internal/analysis"
+	"mxmap/internal/companies"
+	"mxmap/internal/core"
+	"mxmap/internal/dataset"
+	"mxmap/internal/report"
+)
+
+func main() {
+	var (
+		approach    = flag.String("approach", "priority", "inference approach: mx, cert, banner or priority")
+		top         = flag.Int("top", 15, "number of providers in the ranking")
+		showDomains = flag.Bool("domains", false, "print per-domain attributions instead of the ranking")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mxmap [flags] snapshot.jsonl")
+		os.Exit(2)
+	}
+	snap, err := dataset.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ap, err := parseApproach(*approach)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := companies.Curated()
+	cfg := core.Config{Profiles: profilesFrom(dir)}
+	res := core.Infer(snap, ap, cfg)
+
+	if *showDomains {
+		for _, att := range res.Domains {
+			primary := att.Primary()
+			if primary == "" {
+				fmt.Printf("%s\t-\t-\n", att.Domain)
+				continue
+			}
+			fmt.Printf("%s\t%s\t%s\n", att.Domain, primary, analysis.CompanyOf(att.Domain, primary, dir))
+		}
+		return
+	}
+
+	credits := analysis.CompanyCredits(res, dir)
+	shares := analysis.TopShares(credits, len(res.Domains), *top)
+	t := report.NewTable(
+		fmt.Sprintf("Top providers (%s approach, %s %s, %d domains, %d MX examined, %d corrected)",
+			ap, snap.Corpus, snap.Date, len(res.Domains), res.NumExamined, res.NumCorrected),
+		"Rank", "Company", "Domains", "Share")
+	for i, s := range shares {
+		t.AddRow(fmt.Sprint(i+1), s.Company,
+			fmt.Sprintf("%.1f", s.Domains), fmt.Sprintf("%.2f%%", s.Percent))
+	}
+	selfN, selfPct := analysis.SelfHostedCount(res, dir)
+	t.AddRow("-", analysis.SelfHostedLabel, fmt.Sprintf("%.1f", selfN), fmt.Sprintf("%.2f%%", selfPct))
+	if err := t.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseApproach(s string) (core.Approach, error) {
+	switch s {
+	case "mx":
+		return core.ApproachMXOnly, nil
+	case "cert":
+		return core.ApproachCertBased, nil
+	case "banner":
+		return core.ApproachBannerBased, nil
+	case "priority":
+		return core.ApproachPriority, nil
+	default:
+		return 0, fmt.Errorf("unknown approach %q (want mx, cert, banner or priority)", s)
+	}
+}
+
+// profilesFrom builds step-4 profiles for the curated large providers.
+func profilesFrom(dir *companies.Directory) []core.ProviderProfile {
+	var out []core.ProviderProfile
+	cs := dir.Companies()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+	for _, c := range cs {
+		if len(c.ProviderIDs) == 0 || c.Kind == companies.KindOther {
+			continue
+		}
+		id := c.ProviderIDs[0]
+		out = append(out, core.ProviderProfile{
+			ID:   id,
+			ASNs: c.ASNs,
+			VPSPatterns: []string{
+				"vps*." + id, "s*-*-*." + id,
+			},
+			DedicatedPatterns: []string{
+				"mailstore*." + id, "mx*." + id, "mailgw*." + id,
+				"shared*.shared." + id, "mx." + id,
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Command worldgen generates a synthetic Internet and writes its
+// inventory to disk: the provider roster, the prefix-to-AS table in CAIDA
+// prefix2as format, per-corpus domain listings with ground truth, and
+// the provider DNS zones in zone-file format.
+//
+// Usage:
+//
+//	worldgen [-scale 0.05] [-seed 1] -out worlddir/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"mxmap/internal/report"
+	"mxmap/internal/world"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 0.05, "fraction of the paper's corpus sizes")
+		seed   = flag.Uint64("seed", 1, "generation seed")
+		outDir = flag.String("out", "world", "output directory")
+	)
+	flag.Parse()
+
+	w, err := world.Generate(world.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// Provider roster.
+	t := report.NewTable("Provider roster", "Company", "Kind", "Country", "Primary ID", "ASN", "Mail IPs", "Shared IPs")
+	for _, p := range w.Providers {
+		t.AddRow(p.Company.Name, p.Company.Kind.String(), p.Company.Country,
+			p.ID, p.ASN.String(), fmt.Sprint(len(p.MailIPs)), fmt.Sprint(len(p.SharedIPs)))
+	}
+	mustWrite(*outDir, "providers.txt", func(f *os.File) error { return t.WriteText(f) })
+
+	// Routing table.
+	mustWrite(*outDir, "prefix2as.txt", func(f *os.File) error {
+		_, err := w.Prefixes.WriteTo(f)
+		return err
+	})
+
+	// Per-corpus domain listings with ground truth at the last snapshot.
+	for _, name := range []string{world.CorpusAlexa, world.CorpusCOM, world.CorpusGOV} {
+		c := w.Corpus(name)
+		last := len(c.Dates) - 1
+		dt := report.NewTable("Corpus "+name, "Domain", "Rank", "Country", "Mode", "Truth")
+		for _, d := range c.Domains {
+			st := d.StintAt(last)
+			dt.AddRow(d.Name, fmt.Sprint(d.Rank), d.Country, st.Mode.String(), w.TruthCompany(d, last))
+		}
+		mustWrite(*outDir, "corpus_"+name+".tsv", func(f *os.File) error { return dt.WriteCSV(f) })
+	}
+
+	// Provider zones at the most recent date, in parseable zone format.
+	catalog, err := w.CatalogAt(world.AllDates[len(world.AllDates)-1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	mustWrite(*outDir, "zones.txt", func(f *os.File) error {
+		for _, z := range catalog.Zones() {
+			if _, err := z.WriteTo(f); err != nil {
+				return err
+			}
+			fmt.Fprintln(f)
+		}
+		return nil
+	})
+
+	fmt.Printf("world written to %s: %d providers, %d hosts, %d+%d+%d domains\n",
+		*outDir, len(w.Providers), len(w.Hosts),
+		len(w.Corpus(world.CorpusAlexa).Domains),
+		len(w.Corpus(world.CorpusCOM).Domains),
+		len(w.Corpus(world.CorpusGOV).Domains))
+}
+
+func mustWrite(dir, name string, write func(*os.File) error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,10 @@
+// Package mxmap is a full reproduction of "Who's Got Your Mail?
+// Characterizing Mail Service Provider Usage" (IMC 2021): the
+// priority-based MX-to-provider inference methodology, the DNS and SMTP
+// measurement substrates it runs on, a calibrated synthetic Internet
+// standing in for the paper's proprietary data sources, and a harness
+// regenerating every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package mxmap

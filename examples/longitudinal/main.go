@@ -1,0 +1,67 @@
+// Longitudinal: reproduce the paper's §5.2 trend analysis (Figure 6a) —
+// measure the Alexa-like corpus at every semi-annual snapshot from
+// 2017-06 to 2021-06, infer providers at each, and chart the market-share
+// consolidation of the top companies against the decline of self-hosting.
+//
+// Run with:
+//
+//	go run ./examples/longitudinal
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"mxmap/internal/analysis"
+	"mxmap/internal/experiments"
+	"mxmap/internal/report"
+	"mxmap/internal/world"
+)
+
+func main() {
+	study, err := experiments.NewStudy(world.Config{Seed: 9, Scale: 0.005})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	ctx := context.Background()
+	dates := study.World.Corpus(world.CorpusAlexa).Dates
+	track := []string{"Google", "Microsoft", "Yandex", "ProofPoint", "Mimecast"}
+
+	l := analysis.NewLongitudinal(dates)
+	for _, date := range dates {
+		res, err := study.Result(ctx, world.CorpusAlexa, date)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l.Add(date, res, study.World.Directory, track, 5)
+		fmt.Fprintf(os.Stderr, "measured %s\n", date)
+	}
+
+	chart := report.NewChart("Top companies in the Alexa corpus, 2017-2021 (Figure 6a)", dates)
+	for _, name := range track {
+		chart.AddSeries(name, percents(l.Get(name)))
+	}
+	chart.AddSeries("Top5 Total", percents(l.Get("TopN Total")))
+	chart.AddSeries("Self-Hosted", percents(l.Get(analysis.SelfHostedLabel)))
+	if err := chart.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	first, last := l.Get("TopN Total")[0], l.Get("TopN Total")[len(dates)-1]
+	sf, sl := l.Get(analysis.SelfHostedLabel)[0], l.Get(analysis.SelfHostedLabel)[len(dates)-1]
+	fmt.Printf("\ntop-5 share: %.1f%% -> %.1f%%   self-hosted: %.1f%% -> %.1f%%\n",
+		first.Percent, last.Percent, sf.Percent, sl.Percent)
+	fmt.Println("(the paper reports 40.1% -> 49.0% and 11.7% -> 7.9%)")
+}
+
+func percents(points []analysis.SeriesPoint) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.Percent
+	}
+	return out
+}

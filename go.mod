@@ -1,0 +1,3 @@
+module mxmap
+
+go 1.22

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"mxmap/internal/companies"
+	"mxmap/internal/core"
+)
+
+// ccTLDCountry maps the country-code TLDs Figure 8 studies onto country
+// codes. Domains under other TLDs are excluded from the national
+// analysis.
+var ccTLDCountry = map[string]string{
+	"br": "BR", "ar": "AR", "uk": "GB", "fr": "FR", "de": "DE",
+	"it": "IT", "es": "ES", "ro": "RO", "ca": "CA", "au": "AU",
+	"ru": "RU", "cn": "CN", "jp": "JP", "in": "IN", "sg": "SG",
+}
+
+// CCTLDs lists the studied ccTLDs in the paper's display order.
+func CCTLDs() []string {
+	out := make([]string, 0, len(ccTLDCountry))
+	for tld := range ccTLDCountry {
+		out = append(out, tld)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountryOfDomain derives the Figure 8 country of a domain from its TLD,
+// returning "" for gTLDs and unstudied ccTLDs.
+func CountryOfDomain(domain string) string {
+	i := strings.LastIndexByte(domain, '.')
+	if i < 0 {
+		return ""
+	}
+	return ccTLDCountry[domain[i+1:]]
+}
+
+// CCTLDCell is one (ccTLD, provider) cell of Figure 8.
+type CCTLDCell struct {
+	TLD     string
+	Company string
+	Domains float64
+	Percent float64 // of the ccTLD's domains
+}
+
+// CCTLDPreferences computes the Figure 8 matrix: for each studied ccTLD,
+// the share of its domains using each tracked company.
+func CCTLDPreferences(res *core.Result, dir *companies.Directory, track []string) []CCTLDCell {
+	type agg struct {
+		total   int
+		credits map[string]float64
+	}
+	byTLD := make(map[string]*agg)
+	for _, att := range res.Domains {
+		i := strings.LastIndexByte(att.Domain, '.')
+		if i < 0 {
+			continue
+		}
+		tld := att.Domain[i+1:]
+		if _, studied := ccTLDCountry[tld]; !studied {
+			continue
+		}
+		a := byTLD[tld]
+		if a == nil {
+			a = &agg{credits: make(map[string]float64)}
+			byTLD[tld] = a
+		}
+		a.total++
+		for id, credit := range att.Credits {
+			a.credits[CompanyOf(att.Domain, id, dir)] += credit
+		}
+	}
+	var out []CCTLDCell
+	for _, tld := range CCTLDs() {
+		a := byTLD[tld]
+		if a == nil {
+			continue
+		}
+		for _, company := range track {
+			c := a.credits[company]
+			out = append(out, CCTLDCell{
+				TLD: tld, Company: company,
+				Domains: c, Percent: 100 * c / float64(a.total),
+			})
+		}
+	}
+	return out
+}

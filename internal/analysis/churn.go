@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"sort"
+
+	"mxmap/internal/companies"
+	"mxmap/internal/core"
+)
+
+// OthersLabel buckets providers outside the named categories in churn
+// analysis.
+const OthersLabel = "Others"
+
+// Top100Label buckets providers ranked within the top 100 but not named
+// individually.
+const Top100Label = "Top100"
+
+// ChurnCategory assigns a domain attribution to one of Figure 7's
+// categories: a named top company, Top100, Self-Hosted, Others, or
+// No SMTP.
+type churnClassifier struct {
+	dir    *companies.Directory
+	named  map[string]bool
+	top100 map[string]bool
+}
+
+// newChurnClassifier builds the category sets from the first snapshot's
+// ranking: `named` companies get their own category; the next companies
+// up to rank 100 become Top100.
+func newChurnClassifier(res *core.Result, dir *companies.Directory, named []string) *churnClassifier {
+	c := &churnClassifier{dir: dir, named: make(map[string]bool), top100: make(map[string]bool)}
+	for _, n := range named {
+		c.named[n] = true
+	}
+	credits := CompanyCredits(res, dir)
+	for _, s := range TopShares(credits, max(len(res.Domains), 1), 100) {
+		if !c.named[s.Company] {
+			c.top100[s.Company] = true
+		}
+	}
+	return c
+}
+
+func (c *churnClassifier) categoryOf(att core.DomainAttribution) string {
+	if !att.HasSMTP {
+		return NoSMTPLabel
+	}
+	company := CompanyOf(att.Domain, att.Primary(), c.dir)
+	switch {
+	case att.Primary() == "":
+		return NoSMTPLabel
+	case company == SelfHostedLabel:
+		return SelfHostedLabel
+	case c.named[company]:
+		return company
+	case c.top100[company]:
+		return Top100Label
+	default:
+		return OthersLabel
+	}
+}
+
+// ChurnFlow is one cell of the Sankey: the number of domains that were in
+// From at the first snapshot and in To at the last.
+type ChurnFlow struct {
+	From, To string
+	Count    int
+}
+
+// Churn is the full flow matrix between two snapshots.
+type Churn struct {
+	// Categories lists category labels in display order.
+	Categories []string
+	// Flows holds every non-zero flow.
+	Flows []ChurnFlow
+}
+
+// ComputeChurn builds the Figure 7 flow matrix between the first and
+// last snapshots of a corpus. The named companies (e.g. Google,
+// Microsoft, Yandex for Alexa) get individual categories; category
+// membership for Top100 is determined from the first snapshot.
+func ComputeChurn(first, last *core.Result, dir *companies.Directory, named []string) *Churn {
+	cls := newChurnClassifier(first, dir, named)
+	firstAtt := Attributions(first)
+	lastAtt := Attributions(last)
+
+	counts := make(map[[2]string]int)
+	for domain, fa := range firstAtt {
+		la, ok := lastAtt[domain]
+		if !ok {
+			continue // domain left the stable corpus (should not happen)
+		}
+		from := cls.categoryOf(fa)
+		to := cls.categoryOf(la)
+		counts[[2]string{from, to}]++
+	}
+
+	ch := &Churn{}
+	ch.Categories = append(ch.Categories, named...)
+	ch.Categories = append(ch.Categories, Top100Label, SelfHostedLabel, OthersLabel, NoSMTPLabel)
+	for pair, n := range counts {
+		ch.Flows = append(ch.Flows, ChurnFlow{From: pair[0], To: pair[1], Count: n})
+	}
+	sort.Slice(ch.Flows, func(i, j int) bool {
+		if ch.Flows[i].From != ch.Flows[j].From {
+			return ch.Flows[i].From < ch.Flows[j].From
+		}
+		return ch.Flows[i].To < ch.Flows[j].To
+	})
+	return ch
+}
+
+// Outflow sums domains leaving a category (excluding those that stayed).
+func (c *Churn) Outflow(from string) int {
+	n := 0
+	for _, f := range c.Flows {
+		if f.From == from && f.To != from {
+			n += f.Count
+		}
+	}
+	return n
+}
+
+// Flow returns the count moving from one category to another.
+func (c *Churn) Flow(from, to string) int {
+	for _, f := range c.Flows {
+		if f.From == from && f.To == to {
+			return f.Count
+		}
+	}
+	return 0
+}
+
+// Stayed returns the count that remained in the category.
+func (c *Churn) Stayed(cat string) int { return c.Flow(cat, cat) }
+
+// Inflow sums domains arriving into a category from elsewhere.
+func (c *Churn) Inflow(to string) int {
+	n := 0
+	for _, f := range c.Flows {
+		if f.To == to && f.From != to {
+			n += f.Count
+		}
+	}
+	return n
+}
+
+// Summary is the §5.3-style per-category accounting of a churn matrix.
+type Summary struct {
+	// Category is the provider bucket.
+	Category string
+	// Start and End are the category's sizes at the two snapshots.
+	Start, End int
+	// Stayed, Left and Arrived decompose the change.
+	Stayed, Left, Arrived int
+}
+
+// Summarize produces one row per category.
+func (c *Churn) Summarize() []Summary {
+	out := make([]Summary, 0, len(c.Categories))
+	for _, cat := range c.Categories {
+		s := Summary{
+			Category: cat,
+			Stayed:   c.Stayed(cat),
+			Left:     c.Outflow(cat),
+			Arrived:  c.Inflow(cat),
+		}
+		s.Start = s.Stayed + s.Left
+		s.End = s.Stayed + s.Arrived
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"mxmap/internal/companies"
+	"mxmap/internal/core"
+)
+
+// Segment selects a subset of a result's domains for market-share
+// reporting, reproducing Figure 5's panels (Alexa 1k/10k/100k, federal
+// vs other .gov).
+type Segment struct {
+	// Name labels the segment ("Alexa Top 1k", "GOV federal", ...).
+	Name string
+	// Include filters domains; nil includes everything.
+	Include func(att core.DomainAttribution) bool
+}
+
+// SegmentShares computes the top-n companies within one segment.
+func SegmentShares(res *core.Result, dir *companies.Directory, seg Segment, n int) ([]Share, int) {
+	credits := make(map[string]float64)
+	total := 0
+	for _, att := range res.Domains {
+		if seg.Include != nil && !seg.Include(att) {
+			continue
+		}
+		total++
+		for id, credit := range att.Credits {
+			credits[CompanyOf(att.Domain, id, dir)] += credit
+		}
+	}
+	if total == 0 {
+		return nil, 0
+	}
+	return TopShares(credits, total, n), total
+}
+
+// RankAtMost selects Alexa domains with rank in [1, k].
+func RankAtMost(k int) func(core.DomainAttribution) bool {
+	return func(att core.DomainAttribution) bool { return att.Rank > 0 && att.Rank <= k }
+}
+
+// SelfHostedCount returns the (fractional) number of self-hosted domains
+// in a result and its share of all domains.
+func SelfHostedCount(res *core.Result, dir *companies.Directory) (float64, float64) {
+	credits := CompanyCredits(res, dir)
+	c := credits[SelfHostedLabel]
+	if len(res.Domains) == 0 {
+		return 0, 0
+	}
+	return c, 100 * c / float64(len(res.Domains))
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"mxmap/internal/companies"
+	"mxmap/internal/core"
+	"mxmap/internal/dataset"
+	"mxmap/internal/psl"
+	"mxmap/internal/spf"
+)
+
+// SPFStats summarizes the SPF-based eventual-provider extension — the
+// heuristic the paper sketches in §3.4: the MX record reveals only the
+// first delivery hop, but a domain's SPF policy must authorize its real
+// outbound (mailbox) provider, so behind filtering services SPF exposes
+// the eventual provider.
+type SPFStats struct {
+	// Total is the number of domains considered.
+	Total int
+	// WithSPF counts domains publishing a v=spf1 policy.
+	WithSPF int
+	// Agree counts non-filtered domains whose SPF organization matches
+	// their MX attribution; Disagree counts mismatches; NoSignal counts
+	// SPF policies without an attributable include.
+	Agree, Disagree, NoSignal int
+	// FilteredTotal counts domains attributed to e-mail security
+	// companies; FilteredWithMailbox counts those whose SPF reveals a
+	// distinct mailbox provider.
+	FilteredTotal, FilteredWithMailbox int
+	// MailboxCompanies distributes the revealed eventual providers.
+	MailboxCompanies map[string]int
+}
+
+// MailboxShares returns the revealed eventual providers sorted by count.
+func (s SPFStats) MailboxShares() []Share {
+	out := make([]Share, 0, len(s.MailboxCompanies))
+	for c, n := range s.MailboxCompanies {
+		pct := 0.0
+		if s.FilteredTotal > 0 {
+			pct = 100 * float64(n) / float64(s.FilteredTotal)
+		}
+		out = append(out, Share{Company: c, Domains: float64(n), Percent: pct})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domains != out[j].Domains {
+			return out[i].Domains > out[j].Domains
+		}
+		return out[i].Company < out[j].Company
+	})
+	return out
+}
+
+// ComputeSPF evaluates the extension over one snapshot and its inference
+// result.
+func ComputeSPF(snap *dataset.Snapshot, res *core.Result, dir *companies.Directory) SPFStats {
+	stats := SPFStats{MailboxCompanies: make(map[string]int)}
+	att := Attributions(res)
+	for i := range snap.Domains {
+		d := &snap.Domains[i]
+		stats.Total++
+		if d.SPF == "" {
+			continue
+		}
+		rec, err := spf.Parse(d.SPF)
+		if err != nil {
+			continue
+		}
+		stats.WithSPF++
+
+		a := att[d.Domain]
+		primary := a.Primary()
+		mxCompany := CompanyOf(d.Domain, primary, dir)
+
+		includeCompanies := spfIncludeCompanies(d.Domain, rec, dir)
+		isFiltered := false
+		if c, ok := dir.CompanyFor(primary); ok && c.Kind == companies.KindEmailSecurity {
+			isFiltered = true
+		}
+		if isFiltered {
+			stats.FilteredTotal++
+			// An eventual provider is any included organization other
+			// than the filtering service itself.
+			for _, ic := range includeCompanies {
+				if ic != mxCompany {
+					stats.FilteredWithMailbox++
+					stats.MailboxCompanies[ic]++
+					break
+				}
+			}
+			continue
+		}
+		// Non-filtered: check agreement between SPF and MX attribution.
+		switch {
+		case len(includeCompanies) == 0:
+			if usesOwnInfra(rec) && mxCompany == SelfHostedLabel {
+				stats.Agree++
+			} else {
+				stats.NoSignal++
+			}
+		case contains(includeCompanies, mxCompany):
+			stats.Agree++
+		default:
+			stats.Disagree++
+		}
+	}
+	return stats
+}
+
+// spfIncludeCompanies maps the record's include targets to company
+// buckets, dropping includes that resolve to the domain's own
+// organization.
+func spfIncludeCompanies(domain string, rec *spf.Record, dir *companies.Directory) []string {
+	var out []string
+	seen := make(map[string]bool)
+	targets := make([]string, 0, len(rec.Mechanisms)+1)
+	for _, m := range rec.Mechanisms {
+		if m.Kind == spf.MechInclude {
+			targets = append(targets, m.Domain)
+		}
+	}
+	if rec.Redirect != "" {
+		targets = append(targets, rec.Redirect)
+	}
+	for _, target := range targets {
+		host := strings.TrimPrefix(strings.ToLower(target), "_spf.")
+		reg, ok := psl.RegisteredDomain(host)
+		if !ok {
+			continue
+		}
+		company := CompanyOf(domain, reg, dir)
+		if !seen[company] {
+			seen[company] = true
+			out = append(out, company)
+		}
+	}
+	return out
+}
+
+// usesOwnInfra reports an SPF policy that authorizes the domain's own
+// A/MX hosts or literal addresses only — the self-hosting fingerprint.
+func usesOwnInfra(rec *spf.Record) bool {
+	hasSignal := false
+	for _, m := range rec.Mechanisms {
+		switch m.Kind {
+		case spf.MechA, spf.MechMX, spf.MechIP4, spf.MechIP6:
+			hasSignal = true
+		case spf.MechInclude:
+			return false
+		}
+	}
+	return hasSignal && rec.Redirect == ""
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

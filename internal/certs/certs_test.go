@@ -1,0 +1,180 @@
+package certs
+
+import (
+	"crypto/x509"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewPCG(1, 2)) }
+
+func TestCAIssueAndValidate(t *testing.T) {
+	ca, err := NewCA("Sim Root CA", testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.Issue(LeafSpec{
+		CommonName: "mx.provider.com",
+		DNSNames:   []string{"mx.provider.com", "mx1.provider.com", "mx2.provider.com"},
+		Org:        "Provider Inc",
+	}, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca)
+	chain := append([]*x509.Certificate{leaf.Cert}, leaf.Chain...)
+	if err := ts.Validate(chain); err != nil {
+		t.Errorf("Validate = %v, want nil", err)
+	}
+	if got := leaf.Cert.Subject.CommonName; got != "mx.provider.com" {
+		t.Errorf("CN = %q", got)
+	}
+	if len(leaf.Cert.DNSNames) != 3 {
+		t.Errorf("SANs = %v", leaf.Cert.DNSNames)
+	}
+}
+
+func TestSelfSignedNotTrusted(t *testing.T) {
+	ca, err := NewCA("Sim Root CA", testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := SelfSigned(LeafSpec{CommonName: "mail.selfhosted.com"}, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca)
+	if err := ts.Validate([]*x509.Certificate{leaf.Cert}); err == nil {
+		t.Error("Validate accepted self-signed leaf")
+	}
+}
+
+func TestExpiredNotTrusted(t *testing.T) {
+	ca, err := NewCA("Sim Root CA", testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.Issue(LeafSpec{CommonName: "old.example.com", Expired: true}, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca)
+	chain := append([]*x509.Certificate{leaf.Cert}, leaf.Chain...)
+	if err := ts.Validate(chain); err == nil {
+		t.Error("Validate accepted expired leaf")
+	}
+}
+
+func TestForeignCANotTrusted(t *testing.T) {
+	ca1, _ := NewCA("Root A", testRNG())
+	ca2, _ := NewCA("Root B", testRNG())
+	leaf, err := ca2.Issue(LeafSpec{CommonName: "x.example.com"}, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca1)
+	chain := append([]*x509.Certificate{leaf.Cert}, leaf.Chain...)
+	if err := ts.Validate(chain); err == nil {
+		t.Error("Validate accepted leaf from untrusted CA")
+	}
+	ts.AddCA(ca2)
+	if err := ts.Validate(chain); err != nil {
+		t.Errorf("Validate after AddCA = %v", err)
+	}
+}
+
+func TestValidateEmptyChain(t *testing.T) {
+	ca, _ := NewCA("Root", testRNG())
+	if err := NewTrustStore(ca).Validate(nil); err == nil {
+		t.Error("Validate accepted empty chain")
+	}
+}
+
+func TestLeafRequiresCommonName(t *testing.T) {
+	ca, _ := NewCA("Root", testRNG())
+	if _, err := ca.Issue(LeafSpec{}, testRNG()); err == nil {
+		t.Error("Issue accepted empty CN")
+	}
+	if _, err := SelfSigned(LeafSpec{}, testRNG()); err == nil {
+		t.Error("SelfSigned accepted empty CN")
+	}
+}
+
+func TestNames(t *testing.T) {
+	ca, _ := NewCA("Root", testRNG())
+	leaf, err := ca.Issue(LeafSpec{
+		CommonName: "mx.google.com",
+		DNSNames:   []string{"mx.google.com", "aspmx2.googlemail.com", "mx1.smtp.goog"},
+	}, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := Names(leaf.Cert)
+	want := []string{"mx.google.com", "aspmx2.googlemail.com", "mx1.smtp.goog"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if Names(nil) != nil {
+		t.Error("Names(nil) != nil")
+	}
+}
+
+func TestFingerprintStableAndUnique(t *testing.T) {
+	ca, _ := NewCA("Root", testRNG())
+	l1, _ := ca.Issue(LeafSpec{CommonName: "a.example.com"}, testRNG())
+	l2, _ := ca.Issue(LeafSpec{CommonName: "b.example.com"}, testRNG())
+	if Fingerprint(l1.Cert) != Fingerprint(l1.Cert) {
+		t.Error("fingerprint unstable")
+	}
+	if Fingerprint(l1.Cert) == Fingerprint(l2.Cert) {
+		t.Error("distinct certs share a fingerprint")
+	}
+	if len(Fingerprint(l1.Cert)) != 64 {
+		t.Errorf("fingerprint length = %d", len(Fingerprint(l1.Cert)))
+	}
+}
+
+func TestTLSCertificateAndPEM(t *testing.T) {
+	ca, _ := NewCA("Root", testRNG())
+	leaf, _ := ca.Issue(LeafSpec{CommonName: "mx.example.com"}, testRNG())
+	tc := leaf.TLSCertificate()
+	if len(tc.Certificate) != 2 {
+		t.Errorf("chain length = %d, want leaf+root", len(tc.Certificate))
+	}
+	if tc.Leaf == nil || tc.PrivateKey == nil {
+		t.Error("TLSCertificate missing leaf or key")
+	}
+	p := string(leaf.PEM())
+	if !strings.Contains(p, "BEGIN CERTIFICATE") {
+		t.Errorf("PEM output malformed: %q", p[:40])
+	}
+}
+
+func TestDeterministicIssuanceDiffersPerSerial(t *testing.T) {
+	ca, _ := NewCA("Root", testRNG())
+	l1, _ := ca.Issue(LeafSpec{CommonName: "x.example.com"}, testRNG())
+	l2, _ := ca.Issue(LeafSpec{CommonName: "x.example.com"}, testRNG())
+	if l1.Cert.SerialNumber.Cmp(l2.Cert.SerialNumber) == 0 {
+		t.Error("serials repeat")
+	}
+}
+
+func BenchmarkIssueLeaf(b *testing.B) {
+	ca, err := NewCA("Root", testRNG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := testRNG()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ca.Issue(LeafSpec{CommonName: "mx.example.com"}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

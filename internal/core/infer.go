@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"mxmap/internal/asn"
+	"mxmap/internal/dataset"
+	"mxmap/internal/psl"
+)
+
+// Approach selects which signals an inference run uses, matching the four
+// approaches compared in the paper's Section 3.3.
+type Approach int
+
+// Approaches.
+const (
+	// ApproachMXOnly uses only the registered domain of the MX record.
+	ApproachMXOnly Approach = iota
+	// ApproachCertBased uses certificate consensus, falling back to MX.
+	ApproachCertBased
+	// ApproachBannerBased uses Banner/EHLO consensus, falling back to MX.
+	ApproachBannerBased
+	// ApproachPriority uses certificates, then Banner/EHLO, then MX, and
+	// runs the misidentification check (the paper's full methodology).
+	ApproachPriority
+)
+
+// String names the approach as in the paper's Figure 4 legend.
+func (a Approach) String() string {
+	switch a {
+	case ApproachMXOnly:
+		return "MX-only"
+	case ApproachCertBased:
+		return "cert-based"
+	case ApproachBannerBased:
+		return "banner-based"
+	case ApproachPriority:
+		return "priority-based"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Approaches returns all approaches in evaluation order.
+func Approaches() []Approach {
+	return []Approach{ApproachMXOnly, ApproachCertBased, ApproachBannerBased, ApproachPriority}
+}
+
+// Source records which signal produced a provider ID.
+type Source int
+
+// Sources, in increasing reliability order.
+const (
+	// SourceNone marks an MX with no assignment (no MX data at all).
+	SourceNone Source = iota
+	// SourceMX means the registered domain of the MX record itself.
+	SourceMX
+	// SourceBanner means Banner/EHLO consensus across the MX's addresses.
+	SourceBanner
+	// SourceCert means certificate-group consensus across the addresses.
+	SourceCert
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceMX:
+		return "mx"
+	case SourceBanner:
+		return "banner"
+	case SourceCert:
+		return "cert"
+	default:
+		return "none"
+	}
+}
+
+// ProviderProfile carries the prior knowledge used by the
+// misidentification check (step 4) for one large provider.
+type ProviderProfile struct {
+	// ID is the provider ID the profile covers, e.g. "google.com".
+	ID string
+	// ASNs lists autonomous systems on which the provider genuinely
+	// operates its own mail infrastructure.
+	ASNs []asn.ASN
+	// DedicatedPatterns are host globs for provider-operated servers
+	// (e.g. "mailstore*.secureserver.net"); matches are legitimate.
+	DedicatedPatterns []string
+	// VPSPatterns are host globs for customer-rented machines (e.g.
+	// "s*-*-*.secureserver.net", "vps*.secureserver.net"); a low-count
+	// certificate or banner matching these means the customer self-hosts
+	// on the provider's infrastructure.
+	VPSPatterns []string
+}
+
+// Config parameterizes an inference run.
+type Config struct {
+	// PSL supplies registered-domain extraction (default psl.Default).
+	PSL *psl.List
+	// Profiles enables step 4 for these large providers.
+	Profiles []ProviderProfile
+	// ConfidenceThreshold is the per-assignment popularity below which an
+	// assignment to a profiled provider is examined (default 5 domains).
+	ConfidenceThreshold int
+	// RequireBannerEHLOAgreement, when set, derives a Banner/EHLO ID only
+	// when both messages carry the same registered domain (the strict
+	// reading of Figure 3 step 2.2). The default accepts a valid FQDN
+	// from either message when the other is absent, and rejects only
+	// active disagreement.
+	RequireBannerEHLOAgreement bool
+	// DisableCertGrouping ablates step 1: every certificate forms its own
+	// group, so providers with multiple disjoint certificates fragment
+	// into multiple identities. Exists for the DESIGN.md ablation bench.
+	DisableCertGrouping bool
+	// PreferBannerOverCert ablates the priority order: Banner/EHLO
+	// consensus is consulted before certificate consensus. Exists for the
+	// DESIGN.md ablation bench.
+	PreferBannerOverCert bool
+}
+
+func (c Config) pslOrDefault() *psl.List {
+	if c.PSL != nil {
+		return c.PSL
+	}
+	return psl.Default
+}
+
+// MXAssignment is the provider conclusion for one MX exchange name.
+type MXAssignment struct {
+	// Exchange is the MX target host.
+	Exchange string
+	// ProviderID is the inferred provider (a registered domain).
+	ProviderID string
+	// Source is the signal that produced ProviderID.
+	Source Source
+	// Confidence is the popularity score backing the assignment:
+	// max(domains pointing at the busiest address, domains pointing at
+	// the busiest certificate).
+	Confidence int
+	// Examined reports that step 4 flagged this assignment for review.
+	Examined bool
+	// Corrected reports that step 4 changed ProviderID.
+	Corrected bool
+	// Reason explains a correction or why an examined assignment stood.
+	Reason string
+}
+
+// DomainAttribution is the final per-domain outcome.
+type DomainAttribution struct {
+	// Domain is the measured domain.
+	Domain string
+	// Rank carries the corpus rank through to analysis (0 outside Alexa).
+	Rank int
+	// Credits maps provider ID to this domain's credit share; shares sum
+	// to 1 when any MX exists.
+	Credits map[string]float64
+	// HasSMTP reports whether any primary-MX address accepted SMTP.
+	HasSMTP bool
+}
+
+// Primary returns the provider with the largest credit share, or "" when
+// the domain has none.
+func (d *DomainAttribution) Primary() string {
+	best, bestCredit := "", 0.0
+	for id, c := range d.Credits {
+		if c > bestCredit || (c == bestCredit && (best == "" || id < best)) {
+			best, bestCredit = id, c
+		}
+	}
+	return best
+}
+
+// Result is a full inference run over one snapshot.
+type Result struct {
+	// Approach that produced the result.
+	Approach Approach
+	// MX maps exchange name to its assignment.
+	MX map[string]*MXAssignment
+	// Domains holds one attribution per input domain, in input order.
+	Domains []DomainAttribution
+	// NumExamined counts assignments flagged in step 4.
+	NumExamined int
+	// NumCorrected counts assignments changed in step 4.
+	NumCorrected int
+}
+
+// Infer runs the selected approach over a snapshot.
+func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
+	list := cfg.pslOrDefault()
+	if cfg.ConfidenceThreshold == 0 {
+		cfg.ConfidenceThreshold = 5
+	}
+
+	// Step 1 — certificate preprocessing (cert-based and priority only).
+	var groups *CertGroups
+	if approach == ApproachCertBased || approach == ApproachPriority {
+		certList := collectCerts(s)
+		if cfg.DisableCertGrouping {
+			groups = SingletonGroups(certList, list)
+		} else {
+			groups = GroupCertificates(certList, list)
+		}
+	}
+
+	// Step 2 — per-IP identities.
+	ipIDs := computeIPIDs(s, groups, list, cfg)
+
+	// Popularity counters for confidence scores: how many domains' primary
+	// MX sets point at each address and at each certificate.
+	numIP, numCert := popularity(s)
+
+	// Step 3 — per-MX provider IDs.
+	res := &Result{Approach: approach, MX: make(map[string]*MXAssignment)}
+	for i := range s.Domains {
+		for _, mx := range s.Domains[i].PrimaryMX() {
+			if _, ok := res.MX[mx.Exchange]; ok {
+				continue
+			}
+			res.MX[mx.Exchange] = assignMX(mx, approach, ipIDs, numIP, numCert, s, list, cfg.PreferBannerOverCert)
+		}
+	}
+
+	// Step 4 — misidentification check (priority approach only).
+	if approach == ApproachPriority && len(cfg.Profiles) > 0 {
+		checkMisidentifications(res, s, ipIDs, cfg, list)
+	}
+
+	// Step 5 — per-domain attribution.
+	for i := range s.Domains {
+		res.Domains = append(res.Domains, attributeDomain(&s.Domains[i], res.MX, s))
+	}
+	return res
+}
+
+// collectCerts gathers every captured certificate in the snapshot.
+func collectCerts(s *dataset.Snapshot) []Cert {
+	seen := make(map[string]bool)
+	var out []Cert
+	// Deterministic iteration: sort IP keys.
+	keys := make([]string, 0, len(s.IPs))
+	for k := range s.IPs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		info := s.IPs[k]
+		sc := info.Scan
+		if sc == nil || !sc.CertPresent || sc.CertFingerprint == "" || seen[sc.CertFingerprint] {
+			continue
+		}
+		seen[sc.CertFingerprint] = true
+		out = append(out, Cert{
+			Fingerprint: sc.CertFingerprint,
+			Names:       sc.CertNames,
+			Valid:       sc.CertValid,
+		})
+	}
+	return out
+}
+
+// ipIdentity is the step 2 outcome for one address.
+type ipIdentity struct {
+	certID   string // "" when unavailable
+	bannerID string // "" when unavailable
+	scanned  bool   // port 25 produced a session
+}
+
+func computeIPIDs(s *dataset.Snapshot, groups *CertGroups, list *psl.List, cfg Config) map[string]ipIdentity {
+	out := make(map[string]ipIdentity, len(s.IPs))
+	for key, info := range s.IPs {
+		var id ipIdentity
+		sc := info.Scan
+		if sc == nil {
+			out[key] = id
+			continue
+		}
+		id.scanned = true
+		// 2.1 — ID from certificate: only valid certificates count.
+		if groups != nil && sc.CertPresent && sc.CertValid {
+			if rep, ok := groups.Representative(sc.CertFingerprint); ok {
+				id.certID = rep
+			}
+		}
+		// 2.2 — ID from Banner/EHLO.
+		id.bannerID = bannerIdentity(sc, list, cfg.RequireBannerEHLOAgreement)
+		out[key] = id
+	}
+	return out
+}
+
+// bannerIdentity derives the registered-domain identity from the banner
+// and EHLO hosts.
+func bannerIdentity(sc *dataset.ScanInfo, list *psl.List, strict bool) string {
+	bannerReg := regOf(sc.BannerHost, list)
+	ehloReg := regOf(sc.EHLOHost, list)
+	switch {
+	case bannerReg != "" && ehloReg != "":
+		if bannerReg == ehloReg {
+			return bannerReg
+		}
+		return "" // active disagreement: unreliable
+	case strict:
+		return ""
+	case bannerReg != "":
+		return bannerReg
+	default:
+		return ehloReg
+	}
+}
+
+// regOf extracts the registered domain of a host string when it is a
+// plausible FQDN.
+func regOf(host string, list *psl.List) string {
+	host = normalizeHost(host)
+	if !dataset.ValidFQDN(host) {
+		return ""
+	}
+	reg, ok := list.RegisteredDomain(host)
+	if !ok {
+		return ""
+	}
+	return reg
+}
+
+// normalizeHost lower-cases and strips the trailing dot from a host name.
+func normalizeHost(h string) string {
+	return strings.TrimSuffix(strings.ToLower(strings.TrimSpace(h)), ".")
+}
+
+// popularity counts, per address and per certificate, how many domains'
+// primary MX sets lead there.
+func popularity(s *dataset.Snapshot) (numIP, numCert map[string]int) {
+	numIP = make(map[string]int)
+	numCert = make(map[string]int)
+	for i := range s.Domains {
+		seenIP := make(map[string]bool)
+		seenCert := make(map[string]bool)
+		for _, mx := range s.Domains[i].PrimaryMX() {
+			for _, a := range mx.Addrs {
+				key := a.String()
+				if seenIP[key] {
+					continue
+				}
+				seenIP[key] = true
+				numIP[key]++
+				if info, ok := s.IPs[key]; ok && info.Scan != nil && info.Scan.CertFingerprint != "" {
+					if fp := info.Scan.CertFingerprint; !seenCert[fp] {
+						seenCert[fp] = true
+						numCert[fp]++
+					}
+				}
+			}
+		}
+	}
+	return numIP, numCert
+}
+
+// assignMX performs step 3 for one MX record under the chosen approach.
+func assignMX(mx dataset.MXObs, approach Approach, ipIDs map[string]ipIdentity, numIP, numCert map[string]int, s *dataset.Snapshot, list *psl.List, bannerFirst bool) *MXAssignment {
+	a := &MXAssignment{Exchange: mx.Exchange}
+
+	// Confidence: the busiest signal backing this MX.
+	for _, addr := range mx.Addrs {
+		key := addr.String()
+		if c := numIP[key]; c > a.Confidence {
+			a.Confidence = c
+		}
+		if info, ok := s.IPs[key]; ok && info.Scan != nil {
+			if c := numCert[info.Scan.CertFingerprint]; c > a.Confidence {
+				a.Confidence = c
+			}
+		}
+	}
+
+	useCert := approach == ApproachCertBased || approach == ApproachPriority
+	useBanner := approach == ApproachBannerBased || approach == ApproachPriority
+
+	tryCert := func() bool {
+		if !useCert {
+			return false
+		}
+		id, ok := consensus(mx.Addrs, ipIDs, func(i ipIdentity) string { return i.certID })
+		if ok {
+			a.ProviderID, a.Source = id, SourceCert
+		}
+		return ok
+	}
+	tryBanner := func() bool {
+		if !useBanner {
+			return false
+		}
+		id, ok := consensus(mx.Addrs, ipIDs, func(i ipIdentity) string { return i.bannerID })
+		if ok {
+			a.ProviderID, a.Source = id, SourceBanner
+		}
+		return ok
+	}
+	if bannerFirst {
+		if tryBanner() || tryCert() {
+			return a
+		}
+	} else if tryCert() || tryBanner() {
+		return a
+	}
+	a.ProviderID, a.Source = mxFallbackID(mx.Exchange, list), SourceMX
+	return a
+}
+
+// consensus returns the shared non-empty identity across every address,
+// requiring each address to carry one.
+func consensus(addrs []netip.Addr, ipIDs map[string]ipIdentity, pick func(ipIdentity) string) (string, bool) {
+	if len(addrs) == 0 {
+		return "", false
+	}
+	var id string
+	for _, a := range addrs {
+		v := pick(ipIDs[a.String()])
+		if v == "" {
+			return "", false
+		}
+		if id == "" {
+			id = v
+		} else if id != v {
+			return "", false
+		}
+	}
+	return id, true
+}
+
+// mxFallbackID is the registered domain of the MX name, or the
+// (normalized) name itself when no registered domain can be derived.
+func mxFallbackID(exchange string, list *psl.List) string {
+	h := normalizeHost(exchange)
+	if reg, ok := list.RegisteredDomain(h); ok {
+		return reg
+	}
+	return h
+}
+
+// attributeDomain performs step 5 for one domain.
+func attributeDomain(d *dataset.DomainRecord, mxAssign map[string]*MXAssignment, s *dataset.Snapshot) DomainAttribution {
+	out := DomainAttribution{Domain: d.Domain, Rank: d.Rank, Credits: make(map[string]float64)}
+	primary := d.PrimaryMX()
+	if len(primary) == 0 {
+		return out
+	}
+	share := 1.0 / float64(len(primary))
+	for _, mx := range primary {
+		if a, ok := mxAssign[mx.Exchange]; ok && a.ProviderID != "" {
+			out.Credits[a.ProviderID] += share
+		}
+		for _, addr := range mx.Addrs {
+			if info, ok := s.IPs[addr.String()]; ok && info.Port25Open {
+				out.HasSMTP = true
+			}
+		}
+	}
+	return out
+}

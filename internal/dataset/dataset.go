@@ -1,0 +1,242 @@
+// Package dataset defines the measurement data model shared by the
+// collection pipeline and the inference methodology: per-domain DNS
+// observations (the OpenINTEL substitute) joined with per-IP SMTP scan
+// observations (the Censys substitute), grouped into dated snapshots.
+//
+// It also implements the data-availability breakdown the paper reports in
+// Table 4, which partitions a corpus by how much of the signal chain
+// (MX -> IP -> scan -> certificate/banner) was observable.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"mxmap/internal/asn"
+)
+
+// MXObs is one observed MX record with the addresses its exchange
+// resolved to.
+type MXObs struct {
+	// Preference is the MX preference; lower is more preferred.
+	Preference uint16 `json:"pref"`
+	// Exchange is the MX target host, lower-case, no trailing dot.
+	Exchange string `json:"exchange"`
+	// Addrs are the IPv4 addresses Exchange resolved to (may be empty).
+	Addrs []netip.Addr `json:"addrs,omitempty"`
+}
+
+// DomainRecord is one domain's DNS observation in a snapshot.
+type DomainRecord struct {
+	// Domain is the registered domain measured.
+	Domain string `json:"domain"`
+	// Rank is the Alexa list rank, 0 for non-Alexa corpora.
+	Rank int `json:"rank,omitempty"`
+	// MX lists the domain's MX records sorted by preference then name.
+	MX []MXObs `json:"mx"`
+	// SPF is the domain's published v=spf1 policy, when one exists —
+	// collected for the eventual-provider extension (paper §3.4).
+	SPF string `json:"spf,omitempty"`
+}
+
+// PrimaryMX returns the most-preferred MX records: all records sharing
+// the lowest preference value. The paper assigns domain credit to the
+// provider(s) of exactly this set.
+func (d *DomainRecord) PrimaryMX() []MXObs {
+	if len(d.MX) == 0 {
+		return nil
+	}
+	best := d.MX[0].Preference
+	for _, mx := range d.MX[1:] {
+		if mx.Preference < best {
+			best = mx.Preference
+		}
+	}
+	var out []MXObs
+	for _, mx := range d.MX {
+		if mx.Preference == best {
+			out = append(out, mx)
+		}
+	}
+	return out
+}
+
+// ScanInfo is what the port-25 scan learned from one IP address.
+type ScanInfo struct {
+	// Banner is the full 220 greeting text.
+	Banner string `json:"banner,omitempty"`
+	// BannerHost is the first token of the banner.
+	BannerHost string `json:"banner_host,omitempty"`
+	// EHLOHost is the identity in the EHLO response.
+	EHLOHost string `json:"ehlo_host,omitempty"`
+	// STARTTLS reports whether STARTTLS was advertised.
+	STARTTLS bool `json:"starttls,omitempty"`
+	// CertPresent reports whether a certificate was captured.
+	CertPresent bool `json:"cert_present,omitempty"`
+	// CertValid reports whether the chain verified against the trust
+	// store ("trusted by a major browser").
+	CertValid bool `json:"cert_valid,omitempty"`
+	// CertFingerprint is the SHA-256 of the leaf certificate.
+	CertFingerprint string `json:"cert_fp,omitempty"`
+	// CertNames holds the leaf's subject CN (first) and SANs.
+	CertNames []string `json:"cert_names,omitempty"`
+}
+
+// IPInfo joins routing data and scan data for one address.
+type IPInfo struct {
+	// Addr is the address.
+	Addr netip.Addr `json:"addr"`
+	// ASN is the origin AS, 0 when unrouted.
+	ASN asn.ASN `json:"asn,omitempty"`
+	// ASName is the origin AS's short name.
+	ASName string `json:"as_name,omitempty"`
+	// HasCensys reports whether the scanning service had any data for
+	// this address (false models scan blind spots and opt-outs).
+	HasCensys bool `json:"has_censys"`
+	// Port25Open reports whether the SMTP port accepted a connection.
+	Port25Open bool `json:"port25_open"`
+	// Scan holds the application-layer observation when Port25Open.
+	Scan *ScanInfo `json:"scan,omitempty"`
+}
+
+// Snapshot is one dated measurement of one corpus.
+type Snapshot struct {
+	// Date is the snapshot label, e.g. "2021-06".
+	Date string `json:"date"`
+	// Corpus identifies the domain list: "alexa", "com" or "gov".
+	Corpus string `json:"corpus"`
+	// Domains holds the per-domain DNS observations.
+	Domains []DomainRecord `json:"-"`
+	// IPs indexes scan observations by address string.
+	IPs map[string]IPInfo `json:"-"`
+}
+
+// NewSnapshot creates an empty snapshot.
+func NewSnapshot(date, corpus string) *Snapshot {
+	return &Snapshot{Date: date, Corpus: corpus, IPs: make(map[string]IPInfo)}
+}
+
+// IP returns the observation for addr, if any.
+func (s *Snapshot) IP(addr netip.Addr) (IPInfo, bool) {
+	info, ok := s.IPs[addr.String()]
+	return info, ok
+}
+
+// AddDomain appends a domain record.
+func (s *Snapshot) AddDomain(d DomainRecord) { s.Domains = append(s.Domains, d) }
+
+// AddIP records an IP observation, replacing any previous one.
+func (s *Snapshot) AddIP(info IPInfo) { s.IPs[info.Addr.String()] = info }
+
+// SortDomains orders domains lexicographically for deterministic output.
+func (s *Snapshot) SortDomains() {
+	sort.Slice(s.Domains, func(i, j int) bool { return s.Domains[i].Domain < s.Domains[j].Domain })
+}
+
+// jsonLine is the tagged union used for JSONL persistence.
+type jsonLine struct {
+	Kind   string          `json:"kind"` // "snapshot", "domain", "ip"
+	Header *snapshotHeader `json:"header,omitempty"`
+	Domain *DomainRecord   `json:"domain,omitempty"`
+	IP     *IPInfo         `json:"ip,omitempty"`
+}
+
+type snapshotHeader struct {
+	Date   string `json:"date"`
+	Corpus string `json:"corpus"`
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the snapshot as JSON lines: one header line, then
+// one line per domain and per IP. It implements io.WriterTo.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonLine{Kind: "snapshot", Header: &snapshotHeader{Date: s.Date, Corpus: s.Corpus}}); err != nil {
+		return 0, err
+	}
+	for i := range s.Domains {
+		if err := enc.Encode(jsonLine{Kind: "domain", Domain: &s.Domains[i]}); err != nil {
+			return 0, err
+		}
+	}
+	// Deterministic IP order.
+	keys := make([]string, 0, len(s.IPs))
+	for k := range s.IPs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		info := s.IPs[k]
+		if err := enc.Encode(jsonLine{Kind: "ip", IP: &info}); err != nil {
+			return 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// Read parses a snapshot from the JSONL form written by WriteTo.
+func Read(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var s *Snapshot
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line jsonLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineno, err)
+		}
+		switch line.Kind {
+		case "snapshot":
+			if s != nil {
+				return nil, fmt.Errorf("dataset: line %d: duplicate header", lineno)
+			}
+			if line.Header == nil {
+				return nil, fmt.Errorf("dataset: line %d: header line without header", lineno)
+			}
+			s = NewSnapshot(line.Header.Date, line.Header.Corpus)
+		case "domain":
+			if s == nil || line.Domain == nil {
+				return nil, fmt.Errorf("dataset: line %d: domain before header", lineno)
+			}
+			s.AddDomain(*line.Domain)
+		case "ip":
+			if s == nil || line.IP == nil {
+				return nil, fmt.Errorf("dataset: line %d: ip before header", lineno)
+			}
+			s.AddIP(*line.IP)
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown kind %q", lineno, line.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, fmt.Errorf("dataset: empty input")
+	}
+	return s, nil
+}

@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteFile stores a snapshot at path in JSONL form, gzip-compressed when
+// the path ends in ".gz". Corpus-scale snapshots compress roughly 10x.
+func WriteFile(path string, s *Snapshot) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		defer func() {
+			if cerr := zw.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = zw
+	}
+	_, err = s.WriteTo(w)
+	return err
+}
+
+// ReadFile loads a snapshot written by WriteFile, transparently
+// decompressing ".gz" paths.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return Read(r)
+}

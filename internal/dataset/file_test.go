@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestWriteReadFilePlainAndGzip(t *testing.T) {
+	dir := t.TempDir()
+	s := sampleSnapshot()
+	s.SortDomains()
+	for _, name := range []string{"snap.jsonl", "snap.jsonl.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, s); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(s.Domains, got.Domains) || !reflect.DeepEqual(s.IPs, got.IPs) {
+			t.Errorf("%s: round trip mismatch", name)
+		}
+	}
+	// The gzip file should actually be compressed (smaller, magic bytes).
+	plain, _ := os.ReadFile(filepath.Join(dir, "snap.jsonl"))
+	zipped, _ := os.ReadFile(filepath.Join(dir, "snap.jsonl.gz"))
+	if len(zipped) >= len(plain) {
+		t.Errorf("gzip did not shrink: %d vs %d", len(zipped), len(plain))
+	}
+	if len(zipped) < 2 || zipped[0] != 0x1f || zipped[1] != 0x8b {
+		t.Error("gzip magic missing")
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	// A .gz path with non-gzip content fails cleanly.
+	path := filepath.Join(t.TempDir(), "bad.jsonl.gz")
+	if err := os.WriteFile(path, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("bad gzip read succeeded")
+	}
+}

@@ -1,0 +1,127 @@
+package dns
+
+import (
+	"sync"
+	"time"
+)
+
+// Cache is a TTL-respecting response cache for resolvers: positive
+// answers live for the minimum TTL among their answer records, negative
+// (NXDOMAIN/NODATA) answers for the SOA minimum when present. A bounded
+// size with random-ish eviction keeps long measurement runs from growing
+// without limit.
+type Cache struct {
+	// MaxEntries bounds the cache (default 4096).
+	MaxEntries int
+	// Now substitutes the clock for tests; nil uses time.Now.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	entries map[cacheKey]cacheEntry
+}
+
+type cacheKey struct {
+	name string
+	typ  Type
+}
+
+type cacheEntry struct {
+	msg     *Message
+	expires time.Time
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{MaxEntries: 4096, entries: make(map[cacheKey]cacheEntry)}
+}
+
+func (c *Cache) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Get returns a cached, unexpired response for (name, typ).
+func (c *Cache) Get(name string, typ Type) (*Message, bool) {
+	key := cacheKey{name: CanonicalName(name), typ: typ}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if c.now().After(e.expires) {
+		delete(c.entries, key)
+		return nil, false
+	}
+	return e.msg, true
+}
+
+// Put stores a response under the TTL policy. Responses that carry no
+// TTL signal (no answers and no SOA) are not cached.
+func (c *Cache) Put(name string, typ Type, msg *Message) {
+	ttl, ok := cacheTTL(msg)
+	if !ok || ttl == 0 {
+		return
+	}
+	const maxTTL = 24 * time.Hour
+	d := time.Duration(ttl) * time.Second
+	if d > maxTTL {
+		d = maxTTL
+	}
+	key := cacheKey{name: CanonicalName(name), typ: typ}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[cacheKey]cacheEntry)
+	}
+	max := c.MaxEntries
+	if max <= 0 {
+		max = 4096
+	}
+	if len(c.entries) >= max {
+		// Evict an arbitrary entry; map iteration order serves as a cheap
+		// randomized policy.
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = cacheEntry{msg: msg, expires: c.now().Add(d)}
+}
+
+// Len reports the number of cached responses (including expired ones not
+// yet touched).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cacheTTL derives the cache lifetime of a response: the minimum answer
+// TTL, or for negative responses the SOA minimum field per RFC 2308.
+func cacheTTL(msg *Message) (uint32, bool) {
+	if msg == nil {
+		return 0, false
+	}
+	if len(msg.Answers) > 0 {
+		min := msg.Answers[0].TTL
+		for _, rr := range msg.Answers[1:] {
+			if rr.TTL < min {
+				min = rr.TTL
+			}
+		}
+		return min, true
+	}
+	for _, rr := range msg.Authority {
+		if soa, ok := rr.Data.(SOAData); ok {
+			ttl := soa.Minimum
+			if rr.TTL < ttl {
+				ttl = rr.TTL
+			}
+			return ttl, true
+		}
+	}
+	return 0, false
+}

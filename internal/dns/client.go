@@ -1,0 +1,361 @@
+package dns
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client errors.
+var (
+	// ErrIDMismatch reports a response whose ID does not match the query.
+	ErrIDMismatch = errors.New("dns: response ID mismatch")
+	// ErrNXDomain reports a name that does not exist.
+	ErrNXDomain = errors.New("dns: no such domain")
+	// ErrServFail reports a SERVFAIL (or other non-success) response.
+	ErrServFail = errors.New("dns: server failure")
+	// ErrNoData reports that the name exists but carries no records of the
+	// queried type.
+	ErrNoData = errors.New("dns: no records of requested type")
+)
+
+// A Client is a stub resolver: it sends single questions to one server
+// over UDP, retrying on timeout and falling back to TCP on truncation.
+type Client struct {
+	// Server is the resolver address, host:port.
+	Server string
+	// Timeout bounds each network attempt (default 2s).
+	Timeout time.Duration
+	// Retries is the number of additional UDP attempts (default 2).
+	Retries int
+	// UDPSize, when non-zero, advertises an EDNS0 payload size with each
+	// query so servers can answer beyond 512 bytes without TCP.
+	UDPSize uint16
+	// DialContext allows substituting the transport; nil uses net.Dialer.
+	// The network argument is "udp" or "tcp".
+	DialContext func(ctx context.Context, network, address string) (net.Conn, error)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a Client querying the given server with defaults.
+func NewClient(server string) *Client {
+	return &Client{Server: server, Timeout: 2 * time.Second, Retries: 2}
+}
+
+func (c *Client) dial(ctx context.Context, network string) (net.Conn, error) {
+	if c.DialContext != nil {
+		return c.DialContext(ctx, network, c.Server)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, network, c.Server)
+}
+
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+	}
+	return uint16(c.rng.Uint32())
+}
+
+// Exchange sends one question and returns the validated response message.
+func (c *Client) Exchange(ctx context.Context, name string, typ Type) (*Message, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	query := NewQuery(c.nextID(), name, typ)
+	if c.UDPSize > 0 {
+		query.SetEDNS0(c.UDPSize)
+	}
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, err
+	}
+	attempts := c.Retries + 1
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.exchangeOnce(ctx, wire, query.Header.ID, "udp", timeout)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		if resp.Header.Truncated {
+			resp, err = c.exchangeOnce(ctx, wire, query.Header.ID, "tcp", timeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("dns: exchange with %s failed: %w", c.Server, lastErr)
+}
+
+func (c *Client) exchangeOnce(ctx context.Context, wire []byte, id uint16, network string, timeout time.Duration) (*Message, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	conn, err := c.dial(ctx, network)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if d, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(d); err != nil {
+			return nil, err
+		}
+	}
+	var respBuf []byte
+	switch network {
+	case "udp":
+		if _, err := conn.Write(wire); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 64*1024)
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		respBuf = buf[:n]
+	case "tcp":
+		out := make([]byte, 2+len(wire))
+		binary.BigEndian.PutUint16(out, uint16(len(wire)))
+		copy(out[2:], wire)
+		if _, err := conn.Write(out); err != nil {
+			return nil, err
+		}
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return nil, err
+		}
+		respBuf = make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+		if _, err := io.ReadFull(conn, respBuf); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("dns: unsupported network %q", network)
+	}
+	resp, err := Unpack(respBuf)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id {
+		return nil, ErrIDMismatch
+	}
+	if !resp.Header.Response {
+		return nil, errors.New("dns: reply is not a response")
+	}
+	return resp, nil
+}
+
+// A Resolver answers the two high-level questions the measurement pipeline
+// asks: the MX set of a domain and the address set of a host. Both the
+// network Client (via ClientResolver) and the in-memory Catalog (via
+// CatalogResolver) satisfy it.
+type Resolver interface {
+	// LookupMX returns a domain's MX records sorted by preference then
+	// exchange name. ErrNXDomain and ErrNoData distinguish missing names
+	// from missing record types.
+	LookupMX(ctx context.Context, domain string) ([]MXData, error)
+	// LookupA returns the IPv4 addresses a host resolves to, following
+	// CNAME chains.
+	LookupA(ctx context.Context, host string) ([]netip.Addr, error)
+	// LookupAAAA returns the IPv6 addresses of a host — the paper's
+	// method is IPv4-based and names IPv6 as future work; this method
+	// carries that extension.
+	LookupAAAA(ctx context.Context, host string) ([]netip.Addr, error)
+}
+
+// A TXTResolver additionally answers TXT queries (used by the SPF
+// extension). All resolvers in this package implement it.
+type TXTResolver interface {
+	// LookupTXT returns the TXT strings published at domain, one entry
+	// per record (multi-string records are concatenated per RFC 7208).
+	LookupTXT(ctx context.Context, domain string) ([]string, error)
+}
+
+// ClientResolver adapts a Client to the Resolver interface.
+type ClientResolver struct {
+	Client *Client
+}
+
+// LookupMX implements Resolver.
+func (r ClientResolver) LookupMX(ctx context.Context, domain string) ([]MXData, error) {
+	resp, err := r.Client.Exchange(ctx, domain, TypeMX)
+	if err != nil {
+		return nil, err
+	}
+	return mxFromMessage(resp, domain)
+}
+
+// LookupA implements Resolver.
+func (r ClientResolver) LookupA(ctx context.Context, host string) ([]netip.Addr, error) {
+	resp, err := r.Client.Exchange(ctx, host, TypeA)
+	if err != nil {
+		return nil, err
+	}
+	return aFromMessage(resp, host)
+}
+
+// LookupAAAA implements Resolver.
+func (r ClientResolver) LookupAAAA(ctx context.Context, host string) ([]netip.Addr, error) {
+	resp, err := r.Client.Exchange(ctx, host, TypeAAAA)
+	if err != nil {
+		return nil, err
+	}
+	return aaaaFromMessage(resp, host)
+}
+
+// LookupTXT implements TXTResolver.
+func (r ClientResolver) LookupTXT(ctx context.Context, domain string) ([]string, error) {
+	resp, err := r.Client.Exchange(ctx, domain, TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	return txtFromMessage(resp, domain)
+}
+
+// CatalogResolver resolves directly against an in-memory Catalog, used by
+// large-scale simulated measurement where per-query sockets would dominate
+// runtime. Semantics match the wire path because both call Catalog.Resolve.
+type CatalogResolver struct {
+	Catalog *Catalog
+}
+
+// LookupMX implements Resolver.
+func (r CatalogResolver) LookupMX(ctx context.Context, domain string) ([]MXData, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp := r.Catalog.Resolve(Question{Name: CanonicalName(domain), Type: TypeMX, Class: ClassIN})
+	return mxFromMessage(resp, domain)
+}
+
+// LookupA implements Resolver.
+func (r CatalogResolver) LookupA(ctx context.Context, host string) ([]netip.Addr, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp := r.Catalog.Resolve(Question{Name: CanonicalName(host), Type: TypeA, Class: ClassIN})
+	return aFromMessage(resp, host)
+}
+
+// LookupAAAA implements Resolver.
+func (r CatalogResolver) LookupAAAA(ctx context.Context, host string) ([]netip.Addr, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp := r.Catalog.Resolve(Question{Name: CanonicalName(host), Type: TypeAAAA, Class: ClassIN})
+	return aaaaFromMessage(resp, host)
+}
+
+// LookupTXT implements TXTResolver.
+func (r CatalogResolver) LookupTXT(ctx context.Context, domain string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp := r.Catalog.Resolve(Question{Name: CanonicalName(domain), Type: TypeTXT, Class: ClassIN})
+	return txtFromMessage(resp, domain)
+}
+
+func rcodeErr(m *Message) error {
+	switch m.Header.RCode {
+	case RCodeSuccess:
+		return nil
+	case RCodeNXDomain:
+		return ErrNXDomain
+	default:
+		return fmt.Errorf("%w: %s", ErrServFail, m.Header.RCode)
+	}
+}
+
+func mxFromMessage(m *Message, domain string) ([]MXData, error) {
+	if err := rcodeErr(m); err != nil {
+		return nil, err
+	}
+	var out []MXData
+	for _, rr := range m.Answers {
+		if mx, ok := rr.Data.(MXData); ok {
+			mx.Exchange = TrimmedName(mx.Exchange)
+			out = append(out, mx)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: MX for %s", ErrNoData, domain)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Preference != out[j].Preference {
+			return out[i].Preference < out[j].Preference
+		}
+		return out[i].Exchange < out[j].Exchange
+	})
+	return out, nil
+}
+
+func aaaaFromMessage(m *Message, host string) ([]netip.Addr, error) {
+	if err := rcodeErr(m); err != nil {
+		return nil, err
+	}
+	var out []netip.Addr
+	for _, rr := range m.Answers {
+		if a, ok := rr.Data.(AAAAData); ok {
+			out = append(out, a.Addr)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: AAAA for %s", ErrNoData, host)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}
+
+func txtFromMessage(m *Message, domain string) ([]string, error) {
+	if err := rcodeErr(m); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range m.Answers {
+		if txt, ok := rr.Data.(TXTData); ok {
+			// RFC 7208 §3.3: multiple strings in one record concatenate
+			// without separators.
+			out = append(out, strings.Join(txt.Strings, ""))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: TXT for %s", ErrNoData, domain)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func aFromMessage(m *Message, host string) ([]netip.Addr, error) {
+	if err := rcodeErr(m); err != nil {
+		return nil, err
+	}
+	var out []netip.Addr
+	for _, rr := range m.Answers {
+		if a, ok := rr.Data.(AData); ok {
+			out = append(out, a.Addr)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: A for %s", ErrNoData, host)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}

@@ -1,0 +1,269 @@
+package dns
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// IterativeResolver performs full iterative resolution the way the
+// paper's active-DNS measurement platform does: start at the root
+// servers, follow referrals through the TLD to the authoritative
+// server, chase CNAMEs by restarting from the root, and cache
+// delegations so sibling queries skip the upper levels.
+//
+// It implements the Resolver interface, so the measurement pipeline can
+// run wire-faithful resolution end to end.
+type IterativeResolver struct {
+	// Roots are the root name-server addresses (the "hints file").
+	Roots []netip.AddrPort
+	// DialContext establishes connections ("udp" and "tcp"); nil uses
+	// net.Dialer. The simulated fabric supplies its own.
+	DialContext func(ctx context.Context, network, address string) (net.Conn, error)
+	// Timeout bounds each single exchange (default 2s).
+	Timeout time.Duration
+	// MaxReferrals bounds the referral chain per query (default 16).
+	MaxReferrals int
+	// Cache, when non-nil, stores final responses under their TTLs so
+	// repeated questions skip the wire entirely.
+	Cache *Cache
+
+	mu sync.Mutex
+	// delegations caches zone -> server addresses discovered from
+	// referrals, keyed by the delegated zone name.
+	delegations map[string][]netip.AddrPort
+}
+
+// Errors particular to iteration.
+var (
+	// ErrNoRoots reports a resolver with an empty hints list.
+	ErrNoRoots = errors.New("dns: iterative resolver has no root servers")
+	// ErrReferralLoop reports an overlong or cyclic referral chain.
+	ErrReferralLoop = errors.New("dns: referral limit exceeded")
+	// ErrLameDelegation reports a referral with no usable addresses.
+	ErrLameDelegation = errors.New("dns: lame delegation (no usable name servers)")
+)
+
+// Query resolves one (name, type) question iteratively and returns the
+// final authoritative response.
+func (r *IterativeResolver) Query(ctx context.Context, name string, typ Type) (*Message, error) {
+	if len(r.Roots) == 0 {
+		return nil, ErrNoRoots
+	}
+	name = CanonicalName(name)
+	if r.Cache != nil {
+		if msg, ok := r.Cache.Get(name, typ); ok {
+			return msg, nil
+		}
+	}
+	maxRef := r.MaxReferrals
+	if maxRef <= 0 {
+		maxRef = 16
+	}
+	servers, zone := r.bestServers(name)
+	for step := 0; step < maxRef; step++ {
+		resp, err := r.askAny(ctx, servers, name, typ)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Header.RCode == RCodeNXDomain,
+			resp.Header.RCode == RCodeSuccess && (len(resp.Answers) > 0 || resp.Header.Authoritative):
+			if r.Cache != nil {
+				r.Cache.Put(name, typ, resp)
+			}
+			return resp, nil
+		case resp.Header.RCode != RCodeSuccess:
+			return nil, fmt.Errorf("%w: %s from %s zone servers", ErrServFail, resp.Header.RCode, zone)
+		}
+		// Referral: extract the child zone and its servers.
+		child, next := referralTargets(resp)
+		if child == "" || !IsSubdomain(child, zone) || child == zone {
+			return nil, fmt.Errorf("%w: referral from %s did not descend", ErrReferralLoop, zone)
+		}
+		if len(next) == 0 {
+			// Glueless referral: resolve one NS target address
+			// out-of-band (bounded by the caller's context and our own
+			// referral budget through recursion).
+			next, err = r.resolveGlueless(ctx, resp)
+			if err != nil {
+				return nil, err
+			}
+		}
+		r.cacheDelegation(child, next)
+		servers, zone = next, child
+	}
+	return nil, ErrReferralLoop
+}
+
+// LookupMX implements Resolver.
+func (r *IterativeResolver) LookupMX(ctx context.Context, domain string) ([]MXData, error) {
+	resp, err := r.Query(ctx, domain, TypeMX)
+	if err != nil {
+		return nil, err
+	}
+	return mxFromMessage(resp, domain)
+}
+
+// LookupA implements Resolver, restarting iteration for out-of-zone
+// CNAME targets.
+func (r *IterativeResolver) LookupA(ctx context.Context, host string) ([]netip.Addr, error) {
+	const maxChase = 8
+	name := host
+	for i := 0; i < maxChase; i++ {
+		resp, err := r.Query(ctx, name, TypeA)
+		if err != nil {
+			return nil, err
+		}
+		if addrs, err := aFromMessage(resp, name); err == nil {
+			return addrs, nil
+		} else if !errors.Is(err, ErrNoData) {
+			return nil, err
+		}
+		// NODATA with a CNAME means the chain left the zone: restart.
+		target := ""
+		for _, rr := range resp.Answers {
+			if c, ok := rr.Data.(CNAMEData); ok {
+				target = c.Target
+			}
+		}
+		if target == "" {
+			return nil, fmt.Errorf("%w: A for %s", ErrNoData, host)
+		}
+		name = target
+	}
+	return nil, fmt.Errorf("dns: CNAME chain too long for %s", host)
+}
+
+// LookupAAAA implements Resolver.
+func (r *IterativeResolver) LookupAAAA(ctx context.Context, host string) ([]netip.Addr, error) {
+	resp, err := r.Query(ctx, host, TypeAAAA)
+	if err != nil {
+		return nil, err
+	}
+	return aaaaFromMessage(resp, host)
+}
+
+// LookupTXT implements TXTResolver.
+func (r *IterativeResolver) LookupTXT(ctx context.Context, domain string) ([]string, error) {
+	resp, err := r.Query(ctx, domain, TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	return txtFromMessage(resp, domain)
+}
+
+// bestServers returns the deepest cached delegation covering name, or
+// the roots.
+func (r *IterativeResolver) bestServers(name string) ([]netip.AddrPort, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best, bestZone := r.Roots, "."
+	for zone, servers := range r.delegations {
+		if IsSubdomain(name, zone) && CountLabels(zone) > CountLabels(bestZone) {
+			best, bestZone = servers, zone
+		}
+	}
+	return best, bestZone
+}
+
+func (r *IterativeResolver) cacheDelegation(zone string, servers []netip.AddrPort) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.delegations == nil {
+		r.delegations = make(map[string][]netip.AddrPort)
+	}
+	r.delegations[CanonicalName(zone)] = servers
+}
+
+// InvalidateCache drops all cached delegations (for tests and long-lived
+// resolvers spanning zone changes).
+func (r *IterativeResolver) InvalidateCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.delegations = nil
+}
+
+// askAny queries the servers in order until one answers.
+func (r *IterativeResolver) askAny(ctx context.Context, servers []netip.AddrPort, name string, typ Type) (*Message, error) {
+	var lastErr error
+	for _, srv := range servers {
+		cl := &Client{
+			Server:      srv.String(),
+			Timeout:     r.Timeout,
+			Retries:     0,
+			DialContext: r.DialContext,
+		}
+		resp, err := cl.Exchange(ctx, name, typ)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrLameDelegation
+	}
+	return nil, fmt.Errorf("dns: all servers failed for %s: %w", name, lastErr)
+}
+
+// referralTargets extracts the delegated zone and glue addresses from a
+// referral response.
+func referralTargets(m *Message) (zone string, servers []netip.AddrPort) {
+	nsHosts := make(map[string]bool)
+	for _, rr := range m.Authority {
+		if ns, ok := rr.Data.(NSData); ok {
+			if zone == "" {
+				zone = CanonicalName(rr.Name)
+			}
+			nsHosts[CanonicalName(ns.Host)] = true
+		}
+	}
+	for _, rr := range m.Additional {
+		if !nsHosts[CanonicalName(rr.Name)] {
+			continue
+		}
+		switch d := rr.Data.(type) {
+		case AData:
+			servers = append(servers, netip.AddrPortFrom(d.Addr, 53))
+		case AAAAData:
+			servers = append(servers, netip.AddrPortFrom(d.Addr, 53))
+		}
+	}
+	sort.Slice(servers, func(i, j int) bool { return servers[i].Addr().Less(servers[j].Addr()) })
+	return zone, servers
+}
+
+// resolveGlueless resolves a referral's NS host out-of-band.
+func (r *IterativeResolver) resolveGlueless(ctx context.Context, referral *Message) ([]netip.AddrPort, error) {
+	for _, rr := range referral.Authority {
+		ns, ok := rr.Data.(NSData)
+		if !ok {
+			continue
+		}
+		// Guard against self-referential glueless loops: the NS host must
+		// not live inside the zone being delegated.
+		if IsSubdomain(ns.Host, rr.Name) {
+			continue
+		}
+		addrs, err := r.LookupA(ctx, strings.TrimSuffix(ns.Host, "."))
+		if err != nil {
+			continue
+		}
+		out := make([]netip.AddrPort, len(addrs))
+		for i, a := range addrs {
+			out[i] = netip.AddrPortFrom(a, 53)
+		}
+		return out, nil
+	}
+	return nil, ErrLameDelegation
+}

@@ -1,0 +1,266 @@
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// A Question is the query section of a DNS message.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String renders the question in dig-like presentation form.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", CanonicalName(q.Name), q.Class, q.Type)
+}
+
+// Header is the fixed 12-byte DNS message header, unpacked.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	OpCode             OpCode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// A Message is a complete DNS query or response.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard query message for one question.
+func NewQuery(id uint16, name string, typ Type) *Message {
+	return &Message{
+		Header: Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{
+			Name:  CanonicalName(name),
+			Type:  typ,
+			Class: ClassIN,
+		}},
+	}
+}
+
+// Reply builds a response skeleton for the message: same ID and question,
+// response bit set.
+func (m *Message) Reply() *Message {
+	return &Message{
+		Header: Header{
+			ID:               m.Header.ID,
+			Response:         true,
+			OpCode:           m.Header.OpCode,
+			RecursionDesired: m.Header.RecursionDesired,
+		},
+		Questions: append([]Question(nil), m.Questions...),
+	}
+}
+
+// Pack serializes the message to wire format.
+func (m *Message) Pack() ([]byte, error) {
+	p := newPacker()
+	p.uint16(m.Header.ID)
+	var flags uint16
+	if m.Header.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Header.OpCode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Header.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Header.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Header.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+	p.uint16(flags)
+	for _, n := range []int{len(m.Questions), len(m.Answers), len(m.Authority), len(m.Additional)} {
+		if n > 0xFFFF {
+			return nil, ErrMessageTooLarge
+		}
+		p.uint16(uint16(n))
+	}
+	for _, q := range m.Questions {
+		if err := p.name(q.Name, true); err != nil {
+			return nil, err
+		}
+		p.uint16(uint16(q.Type))
+		p.uint16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if err := packRR(p, rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(p.buf) > maxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	return p.buf, nil
+}
+
+func packRR(p *packer, rr RR) error {
+	if err := p.name(rr.Name, true); err != nil {
+		return err
+	}
+	p.uint16(uint16(rr.Type))
+	p.uint16(uint16(rr.Class))
+	p.uint32(rr.TTL)
+	// Reserve the RDLENGTH slot, pack RDATA, then backfill.
+	lenOff := len(p.buf)
+	p.uint16(0)
+	dataOff := len(p.buf)
+	if rr.Data == nil {
+		return fmt.Errorf("%w: record %s has nil data", ErrBadRData, rr.Name)
+	}
+	if rr.Data.RType() != rr.Type {
+		return fmt.Errorf("%w: record %s type %s has %s data", ErrBadRData, rr.Name, rr.Type, rr.Data.RType())
+	}
+	if err := packRData(p, rr.Data); err != nil {
+		return err
+	}
+	n := len(p.buf) - dataOff
+	if n > 0xFFFF {
+		return ErrMessageTooLarge
+	}
+	p.buf[lenOff] = byte(n >> 8)
+	p.buf[lenOff+1] = byte(n)
+	return nil
+}
+
+// Unpack parses a wire-format message.
+func Unpack(b []byte) (*Message, error) {
+	u := &unpacker{msg: b}
+	var m Message
+	id, err := u.uint16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := u.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header = Header{
+		ID:                 id,
+		Response:           flags&(1<<15) != 0,
+		OpCode:             OpCode(flags >> 11 & 0xF),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = u.uint16(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = u.name(); err != nil {
+			return nil, err
+		}
+		var t, c uint16
+		if t, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		if c, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		q.Type, q.Class = Type(t), Class(c)
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	for si, sec := range sections {
+		for i := 0; i < int(counts[si+1]); i++ {
+			rr, err := unpackRR(u)
+			if err != nil {
+				return nil, err
+			}
+			*sec = append(*sec, rr)
+		}
+	}
+	if u.remaining() != 0 {
+		return nil, errors.New("dns: trailing bytes after message")
+	}
+	return &m, nil
+}
+
+func unpackRR(u *unpacker) (RR, error) {
+	var rr RR
+	var err error
+	if rr.Name, err = u.name(); err != nil {
+		return rr, err
+	}
+	var t, c uint16
+	if t, err = u.uint16(); err != nil {
+		return rr, err
+	}
+	if c, err = u.uint16(); err != nil {
+		return rr, err
+	}
+	rr.Type, rr.Class = Type(t), Class(c)
+	if rr.TTL, err = u.uint32(); err != nil {
+		return rr, err
+	}
+	var rdlen uint16
+	if rdlen, err = u.uint16(); err != nil {
+		return rr, err
+	}
+	if rr.Data, err = unpackRData(u, rr.Type, int(rdlen)); err != nil {
+		return rr, err
+	}
+	return rr, nil
+}
+
+// String renders the message in a dig-like multi-section form, useful in
+// logs and tests.
+func (m *Message) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; id=%d opcode=%d rcode=%s", m.Header.ID, m.Header.OpCode, m.Header.RCode)
+	for _, f := range []struct {
+		set  bool
+		name string
+	}{
+		{m.Header.Response, "qr"}, {m.Header.Authoritative, "aa"},
+		{m.Header.Truncated, "tc"}, {m.Header.RecursionDesired, "rd"},
+		{m.Header.RecursionAvailable, "ra"},
+	} {
+		if f.set {
+			sb.WriteString(" " + f.name)
+		}
+	}
+	sb.WriteString("\n;; QUESTION\n")
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";%s\n", q)
+	}
+	for _, sec := range []struct {
+		name string
+		rrs  []RR
+	}{{"ANSWER", m.Answers}, {"AUTHORITY", m.Authority}, {"ADDITIONAL", m.Additional}} {
+		if len(sec.rrs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, ";; %s\n", sec.name)
+		for _, rr := range sec.rrs {
+			sb.WriteString(rr.String() + "\n")
+		}
+	}
+	return sb.String()
+}

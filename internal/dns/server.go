@@ -1,0 +1,400 @@
+package dns
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+)
+
+// A Catalog is a set of zones searched by longest-suffix match, the lookup
+// structure an authoritative server serves from.
+type Catalog struct {
+	mu    sync.RWMutex
+	zones map[string]*Zone // canonical origin -> zone
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{zones: make(map[string]*Zone)}
+}
+
+// AddZone registers a zone; a zone with the same origin is replaced.
+func (c *Catalog) AddZone(z *Zone) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.zones[z.Origin] = z
+}
+
+// FindZone returns the zone with the longest origin that is a suffix of
+// name, or nil when the server is not authoritative for name.
+func (c *Catalog) FindZone(name string) *Zone {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cur := CanonicalName(name)
+	for {
+		if z, ok := c.zones[cur]; ok {
+			return z
+		}
+		if cur == "." {
+			return nil
+		}
+		cur = Parent(cur)
+	}
+}
+
+// Zones returns all registered zones.
+func (c *Catalog) Zones() []*Zone {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Zone, 0, len(c.zones))
+	for _, z := range c.zones {
+		out = append(out, z)
+	}
+	return out
+}
+
+// Resolve answers a question directly from the catalog without network
+// I/O. It implements the same semantics the wire server uses, so the scan
+// pipeline can resolve at memory speed while integration tests exercise
+// the same logic over real sockets.
+func (c *Catalog) Resolve(q Question) *Message {
+	m := &Message{
+		Header:    Header{Response: true, Authoritative: true},
+		Questions: []Question{q},
+	}
+	z := c.FindZone(q.Name)
+	if z == nil {
+		m.Header.RCode = RCodeRefused
+		return m
+	}
+	res := z.Lookup(q.Name, q.Type)
+	if res.Delegated {
+		// Referral: not authoritative for the name; hand back the child
+		// NS set and any glue so the client can continue iterating.
+		m.Header.Authoritative = false
+		m.Authority = res.Authority
+		m.Additional = res.Additional
+		return m
+	}
+	m.Header.RCode = res.RCode
+	m.Answers = res.Answers
+	m.Authority = res.Authority
+	// Chase CNAMEs that cross into sibling zones we are also
+	// authoritative for, as a recursive-capable authoritative would.
+	const maxChase = 8
+	for i := 0; i < maxChase; i++ {
+		last := lastCNAME(m.Answers)
+		if last == nil {
+			break
+		}
+		target := CanonicalName(last.Data.(CNAMEData).Target)
+		if hasAnswerFor(m.Answers, target, q.Type) || IsSubdomain(target, z.Origin) {
+			break
+		}
+		z2 := c.FindZone(target)
+		if z2 == nil {
+			break
+		}
+		res2 := z2.Lookup(target, q.Type)
+		if len(res2.Answers) == 0 {
+			m.Header.RCode = res2.RCode
+			break
+		}
+		m.Answers = append(m.Answers, res2.Answers...)
+		z = z2
+	}
+	return m
+}
+
+func lastCNAME(answers []RR) *RR {
+	if len(answers) == 0 {
+		return nil
+	}
+	if rr := answers[len(answers)-1]; rr.Type == TypeCNAME {
+		return &rr
+	}
+	return nil
+}
+
+func hasAnswerFor(answers []RR, name string, typ Type) bool {
+	for _, rr := range answers {
+		if rr.Type == typ && CanonicalName(rr.Name) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// Catalog provides the zones to serve. Required.
+	Catalog *Catalog
+	// Logger receives per-query debug records; nil disables logging.
+	Logger *slog.Logger
+	// ReadTimeout bounds waiting for a TCP query (default 10s).
+	ReadTimeout time.Duration
+	// UDPSize is the maximum UDP response; larger answers are truncated
+	// (default 512, the classic RFC 1035 limit).
+	UDPSize int
+}
+
+// A Server answers DNS queries over UDP and TCP from a Catalog.
+type Server struct {
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	udpConns []net.PacketConn
+	tcpLns   []net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server for the given configuration.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Catalog == nil {
+		return nil, errors.New("dns: server requires a catalog")
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 10 * time.Second
+	}
+	if cfg.UDPSize == 0 {
+		cfg.UDPSize = 512
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// ServeUDP answers queries arriving on pc until the server is closed or
+// pc fails. It blocks; run it in a goroutine.
+func (s *Server) ServeUDP(pc net.PacketConn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.udpConns = append(s.udpConns, pc)
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		query := append([]byte(nil), buf[:n]...)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			resp := s.handle(query, true)
+			if resp != nil {
+				if _, err := pc.WriteTo(resp, addr); err != nil {
+					s.logf("udp write: %v", err)
+				}
+			}
+		}()
+	}
+}
+
+// ServeTCP accepts length-prefixed DNS-over-TCP connections on ln until
+// the server is closed. It blocks; run it in a goroutine.
+func (s *Server) ServeTCP(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.tcpLns = append(s.tcpLns, ln)
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveTCPConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		msgLen := int(binary.BigEndian.Uint16(lenBuf[:]))
+		query := make([]byte, msgLen)
+		if _, err := io.ReadFull(conn, query); err != nil {
+			return
+		}
+		resp := s.handle(query, false)
+		if resp == nil {
+			return
+		}
+		out := make([]byte, 2+len(resp))
+		binary.BigEndian.PutUint16(out, uint16(len(resp)))
+		copy(out[2:], resp)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+// handle parses a query and produces a packed response; nil means "drop".
+func (s *Server) handle(query []byte, udp bool) []byte {
+	m, err := Unpack(query)
+	if err != nil || m.Header.Response {
+		// Unparseable or not a query; attempt a FORMERR with the echoed ID
+		// when at least the ID survived.
+		if len(query) >= 2 {
+			resp := &Message{Header: Header{
+				ID:       binary.BigEndian.Uint16(query),
+				Response: true,
+				RCode:    RCodeFormat,
+			}}
+			b, _ := resp.Pack()
+			return b
+		}
+		return nil
+	}
+	var resp *Message
+	switch {
+	case m.Header.OpCode != OpQuery:
+		resp = m.Reply()
+		resp.Header.RCode = RCodeNotImp
+	case len(m.Questions) != 1:
+		resp = m.Reply()
+		resp.Header.RCode = RCodeFormat
+	default:
+		resp = s.cfg.Catalog.Resolve(m.Questions[0])
+		resp.Header.ID = m.Header.ID
+		resp.Header.RecursionDesired = m.Header.RecursionDesired
+	}
+	// Honor the client's EDNS0 payload size up to our cap, and echo an
+	// OPT record so the client knows EDNS0 was understood.
+	udpLimit := s.cfg.UDPSize
+	if reqSize, ok := m.EDNS0UDPSize(); ok {
+		if int(reqSize) > udpLimit {
+			udpLimit = int(reqSize)
+		}
+		if udpLimit > MaxEDNSSize {
+			udpLimit = MaxEDNSSize
+		}
+		resp.SetEDNS0(MaxEDNSSize)
+	}
+	b, err := resp.Pack()
+	if err != nil {
+		s.logf("pack response: %v", err)
+		fail := m.Reply()
+		fail.Header.RCode = RCodeServFail
+		b, _ = fail.Pack()
+		return b
+	}
+	if udp && len(b) > udpLimit {
+		// Truncate: header + question only, TC bit set; client retries TCP.
+		trunc := m.Reply()
+		trunc.Header.RCode = resp.Header.RCode
+		trunc.Header.Authoritative = resp.Header.Authoritative
+		trunc.Header.Truncated = true
+		b, _ = trunc.Pack()
+	}
+	s.logQuery(m, resp)
+	return b
+}
+
+func (s *Server) logQuery(q, resp *Message) {
+	if s.cfg.Logger == nil || len(q.Questions) == 0 {
+		return
+	}
+	s.cfg.Logger.Debug("dns query",
+		"q", q.Questions[0].String(),
+		"rcode", resp.Header.RCode.String(),
+		"answers", len(resp.Answers))
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Error(fmt.Sprintf(format, args...))
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops all listeners and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns, lns := s.udpConns, s.tcpLns
+	s.mu.Unlock()
+	for _, pc := range conns {
+		pc.Close()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ListenAndServe binds UDP and TCP on addr (e.g. "127.0.0.1:0") and serves
+// until ctx is cancelled. It reports the bound UDP address on ready. This
+// helper exists for examples and integration tests.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- net.Addr) error {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return err
+	}
+	// Bind TCP on the same port UDP got, so clients can fall back.
+	ln, err := net.Listen("tcp", pc.LocalAddr().String())
+	if err != nil {
+		pc.Close()
+		return err
+	}
+	if ready != nil {
+		ready <- pc.LocalAddr()
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- s.ServeUDP(pc) }()
+	go func() { errc <- s.ServeTCP(ln) }()
+	select {
+	case <-ctx.Done():
+		s.Close()
+		<-errc
+		<-errc
+		return ctx.Err()
+	case err := <-errc:
+		s.Close()
+		<-errc
+		return err
+	}
+}

@@ -1,0 +1,348 @@
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Wire-format errors.
+var (
+	ErrTruncatedMessage = errors.New("dns: truncated message")
+	ErrBadPointer       = errors.New("dns: bad compression pointer")
+	ErrBadRData         = errors.New("dns: malformed record data")
+	ErrMessageTooLarge  = errors.New("dns: message exceeds 64KiB")
+)
+
+// maxMessageSize is the largest message the codec will produce; DNS length
+// fields are 16-bit so this is a hard protocol limit.
+const maxMessageSize = 1 << 16
+
+// packer serializes a message with RFC 1035 §4.1.4 name compression.
+type packer struct {
+	buf []byte
+	// offsets maps a canonical name suffix to the offset where it was
+	// first written, enabling compression pointers.
+	offsets map[string]int
+}
+
+func newPacker() *packer {
+	return &packer{offsets: make(map[string]int)}
+}
+
+func (p *packer) uint8(v uint8)   { p.buf = append(p.buf, v) }
+func (p *packer) uint16(v uint16) { p.buf = binary.BigEndian.AppendUint16(p.buf, v) }
+func (p *packer) uint32(v uint32) { p.buf = binary.BigEndian.AppendUint32(p.buf, v) }
+func (p *packer) bytes(b []byte)  { p.buf = append(p.buf, b...) }
+
+// name writes a domain name, emitting a compression pointer to an earlier
+// occurrence of any suffix when possible. compress=false writes the name
+// verbatim (used inside RDATA types where compression is prohibited;
+// the types in this package all permit compression per RFC 1035, but the
+// option is kept for strictness with TXT-embedded names and future types).
+func (p *packer) name(name string, compress bool) error {
+	name = CanonicalName(name)
+	if name == "." {
+		p.uint8(0)
+		return nil
+	}
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	labels := SplitLabels(name)
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if off, ok := p.offsets[suffix]; ok && compress && off < 0x3FFF {
+			p.uint16(0xC000 | uint16(off))
+			return nil
+		}
+		if len(p.buf) < 0x3FFF {
+			p.offsets[suffix] = len(p.buf)
+		}
+		label := labels[i]
+		p.uint8(uint8(len(label)))
+		p.bytes([]byte(label))
+	}
+	p.uint8(0)
+	return nil
+}
+
+// unpacker deserializes a wire-format message.
+type unpacker struct {
+	msg []byte
+	off int
+}
+
+func (u *unpacker) remaining() int { return len(u.msg) - u.off }
+
+func (u *unpacker) uint8() (uint8, error) {
+	if u.remaining() < 1 {
+		return 0, ErrTruncatedMessage
+	}
+	v := u.msg[u.off]
+	u.off++
+	return v, nil
+}
+
+func (u *unpacker) uint16() (uint16, error) {
+	if u.remaining() < 2 {
+		return 0, ErrTruncatedMessage
+	}
+	v := binary.BigEndian.Uint16(u.msg[u.off:])
+	u.off += 2
+	return v, nil
+}
+
+func (u *unpacker) uint32() (uint32, error) {
+	if u.remaining() < 4 {
+		return 0, ErrTruncatedMessage
+	}
+	v := binary.BigEndian.Uint32(u.msg[u.off:])
+	u.off += 4
+	return v, nil
+}
+
+func (u *unpacker) bytes(n int) ([]byte, error) {
+	if n < 0 || u.remaining() < n {
+		return nil, ErrTruncatedMessage
+	}
+	b := u.msg[u.off : u.off+n]
+	u.off += n
+	return b, nil
+}
+
+// name reads a possibly-compressed domain name starting at the current
+// offset. Pointer chains are bounded to defend against loops.
+func (u *unpacker) name() (string, error) {
+	var sb strings.Builder
+	off := u.off
+	jumped := false
+	const maxPointers = 32
+	ptrs := 0
+	for {
+		if off >= len(u.msg) {
+			return "", ErrTruncatedMessage
+		}
+		c := u.msg[off]
+		switch {
+		case c == 0:
+			if !jumped {
+				u.off = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", nil
+			}
+			return sb.String(), nil
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(u.msg) {
+				return "", ErrTruncatedMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(u.msg[off:]) & 0x3FFF)
+			if !jumped {
+				u.off = off + 2
+				jumped = true
+			}
+			if ptr >= off {
+				// Pointers must point backwards; forward pointers enable
+				// loops and are rejected.
+				return "", ErrBadPointer
+			}
+			ptrs++
+			if ptrs > maxPointers {
+				return "", ErrBadPointer
+			}
+			off = ptr
+		case c&0xC0 != 0:
+			return "", fmt.Errorf("dns: reserved label type %#x", c&0xC0)
+		default:
+			n := int(c)
+			if off+1+n > len(u.msg) {
+				return "", ErrTruncatedMessage
+			}
+			sb.Write(bytesToLower(u.msg[off+1 : off+1+n]))
+			sb.WriteByte('.')
+			if sb.Len() > MaxNameLen+1 {
+				return "", ErrNameTooLong
+			}
+			off += 1 + n
+		}
+	}
+}
+
+// bytesToLower returns an ASCII-lowercased copy of b.
+func bytesToLower(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// packRData appends the wire form of data, returning an error for
+// inconsistent data (e.g. an AData holding an IPv6 address).
+func packRData(p *packer, data RData) error {
+	switch d := data.(type) {
+	case AData:
+		if !d.Addr.Is4() {
+			return fmt.Errorf("%w: A record with non-IPv4 address %s", ErrBadRData, d.Addr)
+		}
+		a4 := d.Addr.As4()
+		p.bytes(a4[:])
+	case AAAAData:
+		if !d.Addr.Is6() || d.Addr.Is4() {
+			return fmt.Errorf("%w: AAAA record with non-IPv6 address %s", ErrBadRData, d.Addr)
+		}
+		a16 := d.Addr.As16()
+		p.bytes(a16[:])
+	case NSData:
+		return p.name(d.Host, true)
+	case CNAMEData:
+		return p.name(d.Target, true)
+	case PTRData:
+		return p.name(d.Target, true)
+	case MXData:
+		p.uint16(d.Preference)
+		return p.name(d.Exchange, true)
+	case TXTData:
+		if len(d.Strings) == 0 {
+			return fmt.Errorf("%w: TXT record with no strings", ErrBadRData)
+		}
+		for _, s := range d.Strings {
+			if len(s) > 255 {
+				return fmt.Errorf("%w: TXT string longer than 255 bytes", ErrBadRData)
+			}
+			p.uint8(uint8(len(s)))
+			p.bytes([]byte(s))
+		}
+	case OPTData:
+		// OPT carries no RDATA in this implementation (no EDNS options).
+	case SOAData:
+		if err := p.name(d.MName, true); err != nil {
+			return err
+		}
+		if err := p.name(d.RName, true); err != nil {
+			return err
+		}
+		p.uint32(d.Serial)
+		p.uint32(d.Refresh)
+		p.uint32(d.Retry)
+		p.uint32(d.Expire)
+		p.uint32(d.Minimum)
+	default:
+		return fmt.Errorf("%w: unsupported rdata type %T", ErrBadRData, data)
+	}
+	return nil
+}
+
+// unpackRData reads length bytes of RDATA of the given type. Unknown types
+// are returned as opaque rawData so messages round-trip.
+func unpackRData(u *unpacker, typ Type, length int) (RData, error) {
+	end := u.off + length
+	if end > len(u.msg) {
+		return nil, ErrTruncatedMessage
+	}
+	var (
+		data RData
+		err  error
+	)
+	switch typ {
+	case TypeA:
+		var b []byte
+		if b, err = u.bytes(4); err == nil {
+			data = AData{Addr: netip.AddrFrom4([4]byte(b))}
+		}
+	case TypeAAAA:
+		var b []byte
+		if b, err = u.bytes(16); err == nil {
+			data = AAAAData{Addr: netip.AddrFrom16([16]byte(b))}
+		}
+	case TypeNS:
+		var host string
+		if host, err = u.name(); err == nil {
+			data = NSData{Host: host}
+		}
+	case TypeCNAME:
+		var target string
+		if target, err = u.name(); err == nil {
+			data = CNAMEData{Target: target}
+		}
+	case TypePTR:
+		var target string
+		if target, err = u.name(); err == nil {
+			data = PTRData{Target: target}
+		}
+	case TypeMX:
+		var pref uint16
+		var exch string
+		if pref, err = u.uint16(); err == nil {
+			if exch, err = u.name(); err == nil {
+				data = MXData{Preference: pref, Exchange: exch}
+			}
+		}
+	case TypeTXT:
+		var ss []string
+		for u.off < end {
+			var n uint8
+			if n, err = u.uint8(); err != nil {
+				break
+			}
+			var b []byte
+			if b, err = u.bytes(int(n)); err != nil {
+				break
+			}
+			ss = append(ss, string(b))
+		}
+		if err == nil {
+			data = TXTData{Strings: ss}
+		}
+	case TypeOPT:
+		// Skip any EDNS options; only the header fields matter here.
+		if _, err = u.bytes(length); err == nil {
+			data = OPTData{}
+		}
+	case TypeSOA:
+		var soa SOAData
+		if soa.MName, err = u.name(); err == nil {
+			if soa.RName, err = u.name(); err == nil {
+				fields := []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum}
+				for _, f := range fields {
+					if *f, err = u.uint32(); err != nil {
+						break
+					}
+				}
+				if err == nil {
+					data = soa
+				}
+			}
+		}
+	default:
+		var b []byte
+		if b, err = u.bytes(length); err == nil {
+			data = rawData{typ: typ, data: append([]byte(nil), b...)}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if u.off != end {
+		return nil, fmt.Errorf("%w: rdata length mismatch for %s", ErrBadRData, typ)
+	}
+	return data, nil
+}
+
+// rawData preserves RDATA of types this package does not interpret.
+type rawData struct {
+	typ  Type
+	data []byte
+}
+
+// RType implements RData.
+func (r rawData) RType() Type { return r.typ }
+
+// String implements RData using RFC 3597 generic encoding.
+func (r rawData) String() string { return fmt.Sprintf("\\# %d %x", len(r.data), r.data) }

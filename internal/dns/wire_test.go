@@ -1,0 +1,264 @@
+package dns
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func sampleMessage() *Message {
+	return &Message{
+		Header: Header{
+			ID: 0x1234, Response: true, Authoritative: true,
+			RecursionDesired: true, RCode: RCodeSuccess,
+		},
+		Questions: []Question{{Name: "example.com.", Type: TypeMX, Class: ClassIN}},
+		Answers: []RR{
+			{Name: "example.com.", Type: TypeMX, Class: ClassIN, TTL: 300,
+				Data: MXData{Preference: 10, Exchange: "mx1.provider.com."}},
+			{Name: "example.com.", Type: TypeMX, Class: ClassIN, TTL: 300,
+				Data: MXData{Preference: 20, Exchange: "mx2.provider.com."}},
+		},
+		Authority: []RR{
+			{Name: "example.com.", Type: TypeNS, Class: ClassIN, TTL: 86400,
+				Data: NSData{Host: "ns1.example.com."}},
+		},
+		Additional: []RR{
+			{Name: "mx1.provider.com.", Type: TypeA, Class: ClassIN, TTL: 60,
+				Data: AData{Addr: mustAddr("192.0.2.1")}},
+		},
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip mismatch:\n want %+v\n got  %+v", m, got)
+	}
+}
+
+func TestCompressionShrinksMessage(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With three names sharing the example.com and provider.com suffixes,
+	// compression must make the message smaller than the uncompressed sum.
+	uncompressed := 12 // header
+	uncompressed += len("example.com") + 2 + 4
+	for range m.Answers {
+		uncompressed += len("example.com") + 2 + 10 + 2 + len("mxN.provider.com") + 2
+	}
+	if len(wire) >= uncompressed {
+		t.Errorf("wire length %d not smaller than uncompressed estimate %d", len(wire), uncompressed)
+	}
+	// And a pointer marker must appear.
+	if !bytes.ContainsFunc(wire, func(r rune) bool { return byte(r)&0xC0 == 0xC0 }) {
+		t.Error("no compression pointer found in wire form")
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	rrs := []RR{
+		{Name: "a.example.com.", Type: TypeA, Class: ClassIN, TTL: 1, Data: AData{Addr: mustAddr("10.0.0.1")}},
+		{Name: "a.example.com.", Type: TypeAAAA, Class: ClassIN, TTL: 1, Data: AAAAData{Addr: mustAddr("2001:db8::1")}},
+		{Name: "example.com.", Type: TypeNS, Class: ClassIN, TTL: 1, Data: NSData{Host: "ns.example.com."}},
+		{Name: "w.example.com.", Type: TypeCNAME, Class: ClassIN, TTL: 1, Data: CNAMEData{Target: "a.example.com."}},
+		{Name: "1.0.0.10.in-addr.arpa.", Type: TypePTR, Class: ClassIN, TTL: 1, Data: PTRData{Target: "a.example.com."}},
+		{Name: "example.com.", Type: TypeMX, Class: ClassIN, TTL: 1, Data: MXData{Preference: 0, Exchange: "a.example.com."}},
+		{Name: "example.com.", Type: TypeTXT, Class: ClassIN, TTL: 1, Data: TXTData{Strings: []string{"v=spf1 -all", "second"}}},
+		{Name: "example.com.", Type: TypeSOA, Class: ClassIN, TTL: 1, Data: SOAData{
+			MName: "ns.example.com.", RName: "hostmaster.example.com.",
+			Serial: 2021060800, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300}},
+	}
+	for _, rr := range rrs {
+		m := &Message{Header: Header{ID: 7, Response: true}, Answers: []RR{rr}}
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatalf("%s: pack: %v", rr.Type, err)
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("%s: unpack: %v", rr.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%s: round trip mismatch\n want %+v\n got  %+v", rr.Type, m, got)
+		}
+	}
+}
+
+func TestPackRejectsBadData(t *testing.T) {
+	bad := []RR{
+		{Name: "x.", Type: TypeA, Class: ClassIN, Data: AData{Addr: mustAddr("2001:db8::1")}},
+		{Name: "x.", Type: TypeAAAA, Class: ClassIN, Data: AAAAData{Addr: mustAddr("10.0.0.1")}},
+		{Name: "x.", Type: TypeMX, Class: ClassIN, Data: AData{Addr: mustAddr("10.0.0.1")}},
+		{Name: "x.", Type: TypeTXT, Class: ClassIN, Data: TXTData{}},
+		{Name: "x.", Type: TypeA, Class: ClassIN, Data: nil},
+	}
+	for _, rr := range bad {
+		m := &Message{Answers: []RR{rr}}
+		if _, err := m.Pack(); err == nil {
+			t.Errorf("Pack accepted bad record %+v", rr)
+		}
+	}
+}
+
+func TestUnpackRejectsTruncated(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 5, 11, 13, len(wire) / 2, len(wire) - 1} {
+		if _, err := Unpack(wire[:n]); err == nil {
+			t.Errorf("Unpack accepted %d-byte prefix", n)
+		}
+	}
+}
+
+func TestUnpackRejectsPointerLoop(t *testing.T) {
+	// Craft a header + question whose name is a pointer to itself.
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[4:], 1) // QDCOUNT=1
+	// Name at offset 12: pointer to offset 12 (self).
+	b = append(b, 0xC0, 12)
+	b = append(b, 0, byte(TypeA), 0, byte(ClassIN))
+	if _, err := Unpack(b); err == nil {
+		t.Error("Unpack accepted self-referential pointer")
+	}
+}
+
+func TestUnpackRejectsForwardPointer(t *testing.T) {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[4:], 1)
+	b = append(b, 0xC0, 40) // points past itself
+	b = append(b, 0, byte(TypeA), 0, byte(ClassIN))
+	if _, err := Unpack(b); err == nil {
+		t.Error("Unpack accepted forward pointer")
+	}
+}
+
+func TestUnpackUnknownTypeRoundTrips(t *testing.T) {
+	// Type 99 (SPF, which we don't interpret) must survive as raw data.
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[6:], 1) // ANCOUNT=1
+	b[2] = 0x80                          // QR
+	b = append(b, 3, 'f', 'o', 'o', 0)   // name foo.
+	b = append(b, 0, 99, 0, 1)           // type 99, class IN
+	b = append(b, 0, 0, 0, 60)           // TTL
+	b = append(b, 0, 3, 1, 2, 3)         // RDLENGTH 3, data
+	m, err := Unpack(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].Type != Type(99) {
+		t.Fatalf("unexpected answers %+v", m.Answers)
+	}
+	wire, err := m.Pack()
+	if err == nil {
+		// Raw data can't be re-packed (unsupported type) — that is fine,
+		// but if it does pack it must round trip.
+		m2, err := Unpack(wire)
+		if err != nil || !reflect.DeepEqual(m, m2) {
+			t.Errorf("re-pack of raw data did not round trip: %v", err)
+		}
+	}
+}
+
+// Property: any query built by NewQuery round-trips bit-exactly.
+func TestQueryRoundTripProperty(t *testing.T) {
+	labels := []string{"mx", "mail", "smtp", "example", "provider", "edge-1"}
+	tlds := []string{"com", "net", "org", "gov", "co.uk"}
+	types := []Type{TypeA, TypeMX, TypeTXT, TypeNS, TypeCNAME}
+	f := func(id uint16, a, b, c uint8) bool {
+		name := labels[int(a)%len(labels)] + "." + labels[int(b)%len(labels)] + "." + tlds[int(c)%len(tlds)]
+		q := NewQuery(id, name, types[int(a+b+c)%len(types)])
+		wire, err := q.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(wire)
+		return err == nil && reflect.DeepEqual(q, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unpack never panics on arbitrary input.
+func TestUnpackFuzzProperty(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Unpack panicked on %x: %v", b, r)
+			}
+		}()
+		m, err := Unpack(b)
+		_ = m
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unpack never panics on corrupted valid messages.
+func TestUnpackCorruptionProperty(t *testing.T) {
+	m := sampleMessage()
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos uint16, val byte) bool {
+		b := append([]byte(nil), wire...)
+		b[int(pos)%len(b)] = val
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Unpack panicked on corrupted input: %v", r)
+			}
+		}()
+		_, _ = Unpack(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDNSPackCompressed(b *testing.B) {
+	m := sampleMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDNSUnpack(b *testing.B) {
+	wire, err := sampleMessage().Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package dns
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseZoneHandWrittenConveniences(t *testing.T) {
+	text := `; a hand-written zone
+$ORIGIN example.org.
+$TTL 3600
+@   IN SOA ns1.example.org. hostmaster.example.org. (
+        2021060800 ; serial
+        7200       ; refresh
+        900        ; retry
+        1209600    ; expire
+        300 )      ; minimum
+@                 IN NS  ns1.example.org.
+@                 IN MX  10 mail.example.org.
+mail.example.org. IN A   192.0.2.5
+txt.example.org.  60 IN TXT "has ; semicolon" "and more"
+`
+	z, err := ParseZone(strings.NewReader(text), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin != "example.org." {
+		t.Errorf("origin = %q", z.Origin)
+	}
+	res := z.Lookup("example.org", TypeSOA)
+	if len(res.Answers) != 1 {
+		t.Fatalf("SOA missing: %+v", res)
+	}
+	soa := res.Answers[0].Data.(SOAData)
+	if soa.Serial != 2021060800 || soa.Minimum != 300 || soa.Expire != 1209600 {
+		t.Errorf("SOA = %+v", soa)
+	}
+	if res.Answers[0].TTL != 3600 {
+		t.Errorf("SOA TTL = %d, want $TTL default", res.Answers[0].TTL)
+	}
+	res = z.Lookup("example.org", TypeMX)
+	if len(res.Answers) != 1 || res.Answers[0].Data.(MXData).Exchange != "mail.example.org." {
+		t.Errorf("MX = %+v", res.Answers)
+	}
+	res = z.Lookup("txt.example.org", TypeTXT)
+	if len(res.Answers) != 1 {
+		t.Fatalf("TXT missing")
+	}
+	txt := res.Answers[0].Data.(TXTData)
+	if len(txt.Strings) != 2 || txt.Strings[0] != "has ; semicolon" {
+		t.Errorf("TXT = %+v", txt)
+	}
+	if res.Answers[0].TTL != 60 {
+		t.Errorf("explicit TTL overridden: %d", res.Answers[0].TTL)
+	}
+}
+
+func TestParseZoneNoDefaultTTLRequiresColumn(t *testing.T) {
+	text := "$ORIGIN x.org.\n@ IN NS ns1.x.org.\n"
+	if _, err := ParseZone(strings.NewReader(text), ""); err == nil {
+		t.Error("TTL-less record accepted without $TTL")
+	}
+}
+
+func TestParseZoneUnbalancedParens(t *testing.T) {
+	text := "$ORIGIN x.org.\n$TTL 60\n@ IN SOA ns. rn. ( 1 2 3 4\n"
+	if _, err := ParseZone(strings.NewReader(text), ""); err == nil {
+		t.Error("unbalanced parentheses accepted")
+	}
+}
+
+func TestParseZoneBadDirectives(t *testing.T) {
+	for _, text := range []string{
+		"$TTL\n",
+		"$TTL banana\n",
+		"$ORIGIN a b\n",
+	} {
+		if _, err := ParseZone(strings.NewReader(text), "x.org"); err == nil {
+			t.Errorf("ParseZone(%q) accepted", text)
+		}
+	}
+}
+
+func TestStripZoneComment(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain line`, `plain line`},
+		{`rec ; comment`, `rec `},
+		{`txt "a;b" ; real`, `txt "a;b" `},
+		{`; whole line`, ``},
+	}
+	for _, c := range cases {
+		if got := stripZoneComment(c.in); got != c.want {
+			t.Errorf("stripZoneComment(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseZonesMultiZoneRoundTrip(t *testing.T) {
+	// Write two zones into one stream, as cmd/worldgen does, and read
+	// them back as a catalog.
+	z1 := NewZone("alpha.test")
+	z1.MustAdd(RR{Name: "alpha.test.", Type: TypeMX, TTL: 60, Data: MXData{Preference: 10, Exchange: "mx.alpha.test."}})
+	z1.MustAdd(RR{Name: "mx.alpha.test.", Type: TypeA, TTL: 60, Data: AData{Addr: mustAddr("10.0.0.1")}})
+	z2 := NewZone("beta.test")
+	z2.MustAdd(RR{Name: "beta.test.", Type: TypeTXT, TTL: 60, Data: TXTData{Strings: []string{"v=spf1 -all"}}})
+
+	var sb strings.Builder
+	for _, z := range []*Zone{z1, z2} {
+		if _, err := z.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString("\n")
+	}
+	cat, err := ParseZones(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Zones()) != 2 {
+		t.Fatalf("zones = %d, want 2", len(cat.Zones()))
+	}
+	m := cat.Resolve(Question{Name: "alpha.test.", Type: TypeMX, Class: ClassIN})
+	if len(m.Answers) != 1 {
+		t.Errorf("alpha MX answers = %+v", m.Answers)
+	}
+	m = cat.Resolve(Question{Name: "beta.test.", Type: TypeTXT, Class: ClassIN})
+	if len(m.Answers) != 1 {
+		t.Errorf("beta TXT answers = %+v", m.Answers)
+	}
+}
+
+func TestParseZonesPropagatesErrors(t *testing.T) {
+	bad := "$ORIGIN ok.test.\nok.test. 60 IN A 10.0.0.1\n$ORIGIN bad.test.\nbad.test. banana IN A 10.0.0.1\n"
+	if _, err := ParseZones(strings.NewReader(bad)); err == nil {
+		t.Error("ParseZones accepted malformed block")
+	}
+}

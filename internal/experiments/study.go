@@ -1,0 +1,182 @@
+// Package experiments wires the whole system together and regenerates
+// every table and figure of the paper's evaluation: it generates a
+// calibrated world, runs the measurement pipeline over each snapshot,
+// applies the inference methodology, and renders the paper's artifacts.
+package experiments
+
+import (
+	"context"
+	"sync"
+
+	"mxmap/internal/analysis"
+	"mxmap/internal/companies"
+	"mxmap/internal/core"
+	"mxmap/internal/dataset"
+	"mxmap/internal/scan"
+	"mxmap/internal/world"
+)
+
+// Study owns one generated world with its measurement substrate and
+// caches collected snapshots and inference results.
+type Study struct {
+	// World is the generated synthetic Internet.
+	World *world.World
+	// Profiles are the step-4 provider profiles derived from the roster.
+	Profiles []core.ProviderProfile
+
+	session *scan.WorldSession
+
+	mu        sync.Mutex
+	snapshots map[string]*dataset.Snapshot
+	results   map[string]*core.Result
+}
+
+// NewStudy generates a world and brings up its substrate.
+func NewStudy(cfg world.Config) (*Study, error) {
+	w, err := world.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := scan.NewWorldSession(w)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{
+		World:     w,
+		Profiles:  WorldProfiles(w),
+		session:   sess,
+		snapshots: make(map[string]*dataset.Snapshot),
+		results:   make(map[string]*core.Result),
+	}, nil
+}
+
+// Close stops the measurement substrate.
+func (s *Study) Close() error { return s.session.Close() }
+
+// Snapshot measures (or returns the cached measurement of) one corpus at
+// one date.
+func (s *Study) Snapshot(ctx context.Context, corpus, date string) (*dataset.Snapshot, error) {
+	key := corpus + "@" + date
+	s.mu.Lock()
+	snap, ok := s.snapshots[key]
+	s.mu.Unlock()
+	if ok {
+		return snap, nil
+	}
+	snap, err := s.session.Snapshot(ctx, corpus, date)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.snapshots[key] = snap
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// Result runs (or returns the cached run of) the priority-based
+// methodology on one snapshot.
+func (s *Study) Result(ctx context.Context, corpus, date string) (*core.Result, error) {
+	key := corpus + "@" + date
+	s.mu.Lock()
+	res, ok := s.results[key]
+	s.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	snap, err := s.Snapshot(ctx, corpus, date)
+	if err != nil {
+		return nil, err
+	}
+	res = core.Infer(snap, core.ApproachPriority, core.Config{Profiles: s.Profiles})
+	s.mu.Lock()
+	s.results[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// LastDate returns a corpus's most recent snapshot label.
+func (s *Study) LastDate(corpus string) string {
+	dates := s.World.Corpus(corpus).Dates
+	return dates[len(dates)-1]
+}
+
+// FirstDate returns a corpus's earliest snapshot label.
+func (s *Study) FirstDate(corpus string) string {
+	return s.World.Corpus(corpus).Dates[0]
+}
+
+// Corpora lists the corpus names in presentation order.
+func Corpora() []string {
+	return []string{world.CorpusAlexa, world.CorpusCOM, world.CorpusGOV}
+}
+
+// WorldProfiles derives step-4 provider profiles (AS membership, VPS and
+// dedicated host-name patterns) from a world's company roster — the
+// codified form of the paper's "prior knowledge about large providers".
+func WorldProfiles(w *world.World) []core.ProviderProfile {
+	var out []core.ProviderProfile
+	for _, c := range w.Directory.Companies() {
+		if len(c.ProviderIDs) == 0 {
+			continue
+		}
+		if c.Kind == companies.KindOther {
+			// The paper only runs the misidentification check for large,
+			// well-known providers; long-tail providers are skipped.
+			continue
+		}
+		id := c.ProviderIDs[0]
+		p := core.ProviderProfile{
+			ID:   id,
+			ASNs: c.ASNs,
+			VPSPatterns: []string{
+				"vps*." + id,
+				"s*-*-*." + id,
+			},
+			DedicatedPatterns: []string{
+				"mailstore*." + id,
+				"mx*." + id,
+				"mailgw*." + id,
+				"shared*.shared." + id,
+				"mx." + id,
+			},
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TruthBucket is the ground-truth operator of a domain expressed in the
+// same bucket space the analysis uses: a company name, the
+// analysis.SelfHostedLabel, or "" for domains without real mail service.
+func (s *Study) TruthBucket(corpus string, dateIdx int, domain string) string {
+	c := s.World.Corpus(corpus)
+	for _, d := range c.Domains {
+		if d.Name == domain {
+			truth := s.World.TruthCompany(d, dateIdx)
+			if truth == d.Name {
+				return analysis.SelfHostedLabel
+			}
+			return truth
+		}
+	}
+	return ""
+}
+
+// truthIndex builds a domain -> truth-bucket map for one corpus/date.
+func (s *Study) truthIndex(corpus string, dateIdx int) map[string]string {
+	c := s.World.Corpus(corpus)
+	out := make(map[string]string, len(c.Domains))
+	for _, d := range c.Domains {
+		truth := s.World.TruthCompany(d, dateIdx)
+		if truth == d.Name {
+			truth = analysis.SelfHostedLabel
+		}
+		out[d.Name] = truth
+	}
+	return out
+}
+
+// companyBucket resolves a company bucket for an inferred provider ID.
+func (s *Study) companyBucket(domain, providerID string) string {
+	return analysis.CompanyOf(domain, providerID, s.World.Directory)
+}

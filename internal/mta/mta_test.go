@@ -1,0 +1,263 @@
+package mta
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+
+	"mxmap/internal/dns"
+	"mxmap/internal/netsim"
+	"mxmap/internal/smtp"
+)
+
+// rig is a small two-provider e-mail world: a submission server for the
+// sender's provider and MX servers for recipient domains.
+type rig struct {
+	net     *netsim.Network
+	catalog *dns.Catalog
+
+	mu       sync.Mutex
+	received map[string][]smtp.Envelope // server hostname -> envelopes
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{net: netsim.New(), catalog: dns.NewCatalog(), received: make(map[string][]smtp.Envelope)}
+	return r
+}
+
+// addMailServer starts an SMTP server and records its envelopes.
+func (r *rig) addMailServer(t *testing.T, hostname, ip string) {
+	t.Helper()
+	srv, err := smtp.NewServer(smtp.Config{
+		Hostname: hostname,
+		OnMessage: func(e smtp.Envelope) {
+			r.mu.Lock()
+			r.received[hostname] = append(r.received[hostname], e)
+			r.mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := r.net.Listen(netip.MustParseAddrPort(ip + ":25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+}
+
+func (r *rig) envelopes(hostname string) []smtp.Envelope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]smtp.Envelope(nil), r.received[hostname]...)
+}
+
+func (r *rig) addZone(t *testing.T, origin string, rrs ...dns.RR) {
+	t.Helper()
+	z := dns.NewZone(origin)
+	for _, rr := range rrs {
+		if err := z.Add(rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.catalog.AddZone(z)
+}
+
+func (r *rig) agent() *Agent {
+	return &Agent{
+		Resolver: dns.CatalogResolver{Catalog: r.catalog},
+		Dialer:   r.net,
+		HELOName: "out.sender.example",
+	}
+}
+
+func a(s string) dns.AData { return dns.AData{Addr: netip.MustParseAddr(s)} }
+func mx(p uint16, h string) dns.MXData {
+	return dns.MXData{Preference: p, Exchange: h}
+}
+
+func TestDeliverSingleRecipient(t *testing.T) {
+	r := newRig(t)
+	r.addMailServer(t, "mx1.rcpt.net", "10.0.0.1")
+	r.addZone(t, "rcpt.net",
+		dns.RR{Name: "rcpt.net.", Type: dns.TypeMX, TTL: 1, Data: mx(10, "mx1.rcpt.net.")},
+		dns.RR{Name: "mx1.rcpt.net.", Type: dns.TypeA, TTL: 1, Data: a("10.0.0.1")},
+	)
+	deliveries, err := r.agent().Deliver(context.Background(), "alice@sender.example",
+		[]string{"bob@rcpt.net"}, []byte("Subject: hi\r\n\r\nhello\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 1 || deliveries[0].Exchange != "mx1.rcpt.net" {
+		t.Errorf("deliveries = %+v", deliveries)
+	}
+	envs := r.envelopes("mx1.rcpt.net")
+	if len(envs) != 1 || envs[0].To[0] != "bob@rcpt.net" {
+		t.Errorf("envelopes = %+v", envs)
+	}
+}
+
+func TestDeliverGroupsByDomain(t *testing.T) {
+	r := newRig(t)
+	r.addMailServer(t, "mx.a.net", "10.0.1.1")
+	r.addMailServer(t, "mx.b.org", "10.0.2.1")
+	r.addZone(t, "a.net",
+		dns.RR{Name: "a.net.", Type: dns.TypeMX, TTL: 1, Data: mx(10, "mx.a.net.")},
+		dns.RR{Name: "mx.a.net.", Type: dns.TypeA, TTL: 1, Data: a("10.0.1.1")},
+	)
+	r.addZone(t, "b.org",
+		dns.RR{Name: "b.org.", Type: dns.TypeMX, TTL: 1, Data: mx(10, "mx.b.org.")},
+		dns.RR{Name: "mx.b.org.", Type: dns.TypeA, TTL: 1, Data: a("10.0.2.1")},
+	)
+	deliveries, err := r.agent().Deliver(context.Background(), "s@s.example",
+		[]string{"x@a.net", "y@b.org", "z@a.net"}, []byte("m\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != 2 {
+		t.Fatalf("deliveries = %+v", deliveries)
+	}
+	envsA := r.envelopes("mx.a.net")
+	if len(envsA) != 1 || len(envsA[0].To) != 2 {
+		t.Errorf("a.net should get one transaction with two recipients: %+v", envsA)
+	}
+	if len(r.envelopes("mx.b.org")) != 1 {
+		t.Errorf("b.org envelopes = %+v", r.envelopes("mx.b.org"))
+	}
+}
+
+func TestDeliverPreferenceFallback(t *testing.T) {
+	r := newRig(t)
+	// Primary MX is dead; secondary works.
+	r.addMailServer(t, "backup.rcpt.net", "10.0.3.2")
+	r.addZone(t, "rcpt.net",
+		dns.RR{Name: "rcpt.net.", Type: dns.TypeMX, TTL: 1, Data: mx(10, "primary.rcpt.net.")},
+		dns.RR{Name: "rcpt.net.", Type: dns.TypeMX, TTL: 1, Data: mx(20, "backup.rcpt.net.")},
+		dns.RR{Name: "primary.rcpt.net.", Type: dns.TypeA, TTL: 1, Data: a("10.0.3.1")},
+		dns.RR{Name: "backup.rcpt.net.", Type: dns.TypeA, TTL: 1, Data: a("10.0.3.2")},
+	)
+	deliveries, err := r.agent().Deliver(context.Background(), "s@s.example",
+		[]string{"u@rcpt.net"}, []byte("m\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deliveries[0].Exchange != "backup.rcpt.net" {
+		t.Errorf("delivered via %s, want backup", deliveries[0].Exchange)
+	}
+}
+
+func TestDeliverImplicitMX(t *testing.T) {
+	r := newRig(t)
+	// No MX record at all: RFC 5321 implicit MX uses the domain's A.
+	r.addMailServer(t, "bare.example", "10.0.4.1")
+	r.addZone(t, "bare.example",
+		dns.RR{Name: "bare.example.", Type: dns.TypeA, TTL: 1, Data: a("10.0.4.1")},
+	)
+	deliveries, err := r.agent().Deliver(context.Background(), "s@s.example",
+		[]string{"u@bare.example"}, []byte("m\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deliveries[0].Exchange != "bare.example" {
+		t.Errorf("implicit MX exchange = %s", deliveries[0].Exchange)
+	}
+	if len(r.envelopes("bare.example")) != 1 {
+		t.Error("implicit-MX message not delivered")
+	}
+}
+
+func TestDeliverNoRoute(t *testing.T) {
+	r := newRig(t)
+	// The domain exists (it has a TXT record) but has neither MX nor A:
+	// no explicit route and no implicit-MX fallback.
+	r.addZone(t, "noroute.example",
+		dns.RR{Name: "noroute.example.", Type: dns.TypeTXT, TTL: 1, Data: dns.TXTData{Strings: []string{"x"}}},
+	)
+	deliveries, err := r.agent().Deliver(context.Background(), "s@s.example",
+		[]string{"u@noroute.example"}, []byte("m\r\n"))
+	if err == nil {
+		t.Fatal("delivery to routeless domain succeeded")
+	}
+	if !errors.Is(deliveries[0].Err, ErrNoRoute) && !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeliverAllExchangesDown(t *testing.T) {
+	r := newRig(t)
+	r.addZone(t, "down.example",
+		dns.RR{Name: "down.example.", Type: dns.TypeMX, TTL: 1, Data: mx(10, "mx.down.example.")},
+		dns.RR{Name: "mx.down.example.", Type: dns.TypeA, TTL: 1, Data: a("10.0.5.1")},
+	)
+	_, err := r.agent().Deliver(context.Background(), "s@s.example",
+		[]string{"u@down.example"}, []byte("m\r\n"))
+	if !errors.Is(err, ErrAllExchangesFailed) {
+		t.Errorf("err = %v, want ErrAllExchangesFailed", err)
+	}
+}
+
+func TestDeliverValidatesInput(t *testing.T) {
+	r := newRig(t)
+	ag := r.agent()
+	if _, err := ag.Deliver(context.Background(), "s@s", nil, []byte("m")); !errors.Is(err, ErrNoRecipients) {
+		t.Errorf("empty recipients: %v", err)
+	}
+	if _, err := ag.Deliver(context.Background(), "s@s", []string{"not-an-address"}, []byte("m")); err == nil {
+		t.Error("malformed recipient accepted")
+	}
+}
+
+// TestSubmissionToDeliveryLoop exercises the paper's Figure 1 end to
+// end: an authenticated MUA submission to the provider's MSA, whose
+// message sink relays onward through the MTA to the recipient's MX.
+func TestSubmissionToDeliveryLoop(t *testing.T) {
+	r := newRig(t)
+	r.addMailServer(t, "mx.rcpt.net", "10.0.6.1")
+	r.addZone(t, "rcpt.net",
+		dns.RR{Name: "rcpt.net.", Type: dns.TypeMX, TTL: 1, Data: mx(10, "mx.rcpt.net.")},
+		dns.RR{Name: "mx.rcpt.net.", Type: dns.TypeA, TTL: 1, Data: a("10.0.6.1")},
+	)
+
+	agent := r.agent()
+	relayed := make(chan error, 1)
+	msa, err := smtp.NewServer(smtp.Config{
+		Hostname:           "submit.sender.example",
+		Auth:               smtp.StaticAuth{"alice": "pw"},
+		RequireAuthForMail: true,
+		OnMessage: func(e smtp.Envelope) {
+			// The MSA queues and the co-located MTA relays (Figure 1's
+			// MSA -> MTA handoff).
+			_, err := agent.Deliver(context.Background(), e.From, e.To, e.Data)
+			relayed <- err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := r.net.Listen(netip.MustParseAddrPort("10.0.7.1:587"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go msa.Serve(ln)
+	defer msa.Close()
+
+	err = smtp.Submit(context.Background(), r.net, "10.0.7.1:587", "laptop.sender.example",
+		smtp.ClientAuth{Username: "alice", Password: "pw"},
+		"alice@sender.example", []string{"bob@rcpt.net"},
+		[]byte("Subject: loop\r\n\r\nfull path\r\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-relayed; err != nil {
+		t.Fatalf("relay failed: %v", err)
+	}
+	envs := r.envelopes("mx.rcpt.net")
+	if len(envs) != 1 || !strings.Contains(string(envs[0].Data), "full path") {
+		t.Errorf("recipient envelopes = %+v", envs)
+	}
+}

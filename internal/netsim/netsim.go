@@ -1,0 +1,230 @@
+// Package netsim provides an in-memory IPv4 network fabric with the same
+// Dial/Listen surface as package net. It lets the repository host tens of
+// thousands of simulated SMTP endpoints in one process — the substitute
+// for the public Internet that Censys scans — while keeping full net.Conn
+// semantics (deadlines, concurrent accepts, TLS handshakes over the
+// connection).
+//
+// Fault injection mirrors the failure modes the paper's data pipeline
+// observes in the wild: unreachable hosts (no Censys data), closed port
+// 25, and connection timeouts.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Fault simulates a network-level failure mode for an address.
+type Fault int
+
+// Fault modes.
+const (
+	// FaultNone means connections proceed normally.
+	FaultNone Fault = iota
+	// FaultRefuse simulates a closed port: dials fail fast.
+	FaultRefuse
+	// FaultBlackhole simulates packet loss: dials hang until the context
+	// expires, like an unresponsive or firewalled host.
+	FaultBlackhole
+)
+
+// Errors returned by the fabric.
+var (
+	// ErrConnRefused reports a dial to a port with no listener.
+	ErrConnRefused = errors.New("netsim: connection refused")
+	// ErrAddrInUse reports a duplicate Listen.
+	ErrAddrInUse = errors.New("netsim: address in use")
+	// ErrNetClosed reports use of a closed listener.
+	ErrNetClosed = errors.New("netsim: listener closed")
+)
+
+// A Network is a fabric of listeners addressable by IPv4 address and port.
+// The zero value is not usable; call New.
+type Network struct {
+	// Latency is the simulated one-way connection setup delay.
+	Latency time.Duration
+
+	mu        sync.RWMutex
+	listeners map[netip.AddrPort]*Listener
+	faults    map[netip.Addr]Fault
+
+	udpMu    sync.Mutex
+	udpConns map[netip.AddrPort]*PacketConn
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{
+		listeners: make(map[netip.AddrPort]*Listener),
+		faults:    make(map[netip.Addr]Fault),
+	}
+}
+
+// SetFault configures the failure mode for every port of addr.
+func (n *Network) SetFault(addr netip.Addr, f Fault) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f == FaultNone {
+		delete(n.faults, addr)
+		return
+	}
+	n.faults[addr] = f
+}
+
+// fault returns the configured failure mode for addr.
+func (n *Network) fault(addr netip.Addr) Fault {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.faults[addr]
+}
+
+// Listen binds a listener to ip:port. Unlike net.Listen, port 0 is not
+// auto-assigned; simulated services live at fixed well-known ports.
+func (n *Network) Listen(ap netip.AddrPort) (*Listener, error) {
+	if !ap.Addr().IsValid() {
+		return nil, fmt.Errorf("netsim: invalid address %s", ap)
+	}
+	if ap.Port() == 0 {
+		return nil, errors.New("netsim: explicit port required")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[ap]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, ap)
+	}
+	l := &Listener{
+		network: n,
+		addr:    ap,
+		pending: make(chan net.Conn, 64),
+		done:    make(chan struct{}),
+	}
+	n.listeners[ap] = l
+	return l, nil
+}
+
+// Dial connects to ip:port on the fabric, honoring ctx for cancellation
+// and simulated faults for the destination address.
+func (n *Network) Dial(ctx context.Context, ap netip.AddrPort) (net.Conn, error) {
+	switch n.fault(ap.Addr()) {
+	case FaultRefuse:
+		return nil, fmt.Errorf("%w: %s (fault)", ErrConnRefused, ap)
+	case FaultBlackhole:
+		<-ctx.Done()
+		return nil, fmt.Errorf("netsim: dial %s: %w", ap, ctx.Err())
+	}
+	if n.Latency > 0 {
+		t := time.NewTimer(n.Latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	n.mu.RLock()
+	l := n.listeners[ap]
+	n.mu.RUnlock()
+	if l == nil {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, ap)
+	}
+	client, server := net.Pipe()
+	cw := &conn{Conn: client, local: ephemeralAddr(), remote: tcpAddr(ap)}
+	sw := &conn{Conn: server, local: tcpAddr(ap), remote: cw.local}
+	select {
+	case l.pending <- sw:
+		return cw, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, ap)
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// DialContext adapts Dial to the three-argument form used by net.Dialer
+// consumers, so the same client code runs against the fabric and the real
+// network. The network argument must be "tcp".
+func (n *Network) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	if network != "tcp" && network != "tcp4" {
+		return nil, fmt.Errorf("netsim: unsupported network %q", network)
+	}
+	ap, err := netip.ParseAddrPort(address)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	return n.Dial(ctx, ap)
+}
+
+// A Listener accepts fabric connections. It implements net.Listener.
+type Listener struct {
+	network *Network
+	addr    netip.AddrPort
+	pending chan net.Conn
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.pending:
+		return c, nil
+	case <-l.done:
+		return nil, ErrNetClosed
+	}
+}
+
+// Close unbinds the listener. Pending, unaccepted connections are dropped.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.network.mu.Lock()
+		delete(l.network.listeners, l.addr)
+		l.network.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr reports the bound address.
+func (l *Listener) Addr() net.Addr { return tcpAddr(l.addr) }
+
+// conn decorates a pipe end with proper addresses.
+type conn struct {
+	net.Conn
+	local, remote net.Addr
+}
+
+// LocalAddr implements net.Conn.
+func (c *conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+func tcpAddr(ap netip.AddrPort) net.Addr {
+	return &net.TCPAddr{IP: ap.Addr().AsSlice(), Port: int(ap.Port())}
+}
+
+var ephemeral struct {
+	mu   sync.Mutex
+	next uint16
+}
+
+// ephemeralAddr fabricates a unique client-side address for connection
+// identity in logs.
+func ephemeralAddr() net.Addr {
+	ephemeral.mu.Lock()
+	defer ephemeral.mu.Unlock()
+	ephemeral.next++
+	port := 32768 + int(ephemeral.next%28000)
+	return &net.TCPAddr{IP: net.IPv4(100, 64, 0, 1), Port: port}
+}

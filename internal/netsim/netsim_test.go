@@ -1,0 +1,364 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ap(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }
+
+func TestDialListenRoundTrip(t *testing.T) {
+	n := New()
+	l, err := n.Listen(ap("192.0.2.1:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = c.Write([]byte("pong:" + string(buf)))
+		done <- err
+	}()
+
+	c, err := n.Dial(context.Background(), ap("192.0.2.1:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong:hello" {
+		t.Errorf("echo = %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialRefusedNoListener(t *testing.T) {
+	n := New()
+	_, err := n.Dial(context.Background(), ap("192.0.2.9:25"))
+	if !errors.Is(err, ErrConnRefused) {
+		t.Errorf("err = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestDuplicateListen(t *testing.T) {
+	n := New()
+	l, err := n.Listen(ap("192.0.2.1:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Listen(ap("192.0.2.1:25")); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("err = %v, want ErrAddrInUse", err)
+	}
+	// Different port on the same IP is fine.
+	l2, err := n.Listen(ap("192.0.2.1:587"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+}
+
+func TestListenValidation(t *testing.T) {
+	n := New()
+	if _, err := n.Listen(netip.AddrPortFrom(netip.MustParseAddr("10.0.0.1"), 0)); err == nil {
+		t.Error("Listen accepted port 0")
+	}
+}
+
+func TestListenDialIPv6(t *testing.T) {
+	n := New()
+	l, err := n.Listen(ap("[fd00::25]:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Write([]byte("v6"))
+			c.Close()
+		}
+	}()
+	c, err := n.DialContext(context.Background(), "tcp", "[fd00::25]:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "v6" {
+		t.Errorf("v6 read: %q %v", buf, err)
+	}
+}
+
+func TestCloseUnbinds(t *testing.T) {
+	n := New()
+	l, err := n.Listen(ap("192.0.2.1:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l.Close() // double close is fine
+	if _, err := n.Dial(context.Background(), ap("192.0.2.1:25")); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial after close = %v, want refused", err)
+	}
+	// Rebinding after close succeeds.
+	l2, err := n.Listen(ap("192.0.2.1:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+}
+
+func TestAcceptAfterClose(t *testing.T) {
+	n := New()
+	l, _ := n.Listen(ap("192.0.2.1:25"))
+	l.Close()
+	if _, err := l.Accept(); !errors.Is(err, ErrNetClosed) {
+		t.Errorf("Accept after close = %v", err)
+	}
+}
+
+func TestFaultRefuse(t *testing.T) {
+	n := New()
+	l, _ := n.Listen(ap("192.0.2.1:25"))
+	defer l.Close()
+	n.SetFault(netip.MustParseAddr("192.0.2.1"), FaultRefuse)
+	if _, err := n.Dial(context.Background(), ap("192.0.2.1:25")); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial with refuse fault = %v", err)
+	}
+	n.SetFault(netip.MustParseAddr("192.0.2.1"), FaultNone)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := n.Dial(ctx, ap("192.0.2.1:25"))
+	if err != nil {
+		t.Errorf("dial after clearing fault = %v", err)
+	} else {
+		c.Close()
+	}
+}
+
+func TestFaultBlackhole(t *testing.T) {
+	n := New()
+	n.SetFault(netip.MustParseAddr("192.0.2.2"), FaultBlackhole)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Dial(ctx, ap("192.0.2.2:25"))
+	if err == nil {
+		t.Fatal("blackhole dial succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("blackhole dial returned before deadline")
+	}
+}
+
+func TestDialContextStringForm(t *testing.T) {
+	n := New()
+	l, _ := n.Listen(ap("10.0.0.1:25"))
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := n.DialContext(context.Background(), "tcp", "10.0.0.1:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := n.DialContext(context.Background(), "udp", "10.0.0.1:25"); err == nil {
+		t.Error("DialContext accepted udp")
+	}
+	if _, err := n.DialContext(context.Background(), "tcp", "not-an-addr"); err == nil {
+		t.Error("DialContext accepted bad address")
+	}
+}
+
+func TestConnAddrs(t *testing.T) {
+	n := New()
+	l, _ := n.Listen(ap("203.0.113.7:25"))
+	defer l.Close()
+	got := make(chan string, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			got <- err.Error()
+			return
+		}
+		defer c.Close()
+		got <- c.LocalAddr().String()
+	}()
+	c, err := n.Dial(context.Background(), ap("203.0.113.7:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.RemoteAddr().String() != "203.0.113.7:25" {
+		t.Errorf("client RemoteAddr = %s", c.RemoteAddr())
+	}
+	if serverLocal := <-got; serverLocal != "203.0.113.7:25" {
+		t.Errorf("server LocalAddr = %s", serverLocal)
+	}
+}
+
+func TestDeadlinesWork(t *testing.T) {
+	n := New()
+	l, _ := n.Listen(ap("10.0.0.1:25"))
+	defer l.Close()
+	go l.Accept() // accept but never write
+	c, err := n.Dial(context.Background(), ap("10.0.0.1:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Error("read succeeded with no data before deadline")
+	}
+}
+
+func TestConcurrentDials(t *testing.T) {
+	n := New()
+	const host = "198.51.100.1:25"
+	l, _ := n.Listen(ap(host))
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				fmt.Fprintf(c, "220 ok\r\n")
+			}()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			c, err := n.Dial(ctx, ap(host))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			buf := make([]byte, 8)
+			if _, err := io.ReadFull(c, buf); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	n := New()
+	n.Latency = 20 * time.Millisecond
+	l, _ := n.Listen(ap("10.0.0.1:25"))
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	start := time.Now()
+	c, err := n.Dial(context.Background(), ap("10.0.0.1:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("latency not applied")
+	}
+}
+
+func BenchmarkDialRoundTrip(b *testing.B) {
+	n := New()
+	l, err := n.Listen(ap("10.0.0.1:25"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				buf := make([]byte, 4)
+				if _, err := io.ReadFull(c, buf); err == nil {
+					c.Write(buf)
+				}
+			}()
+		}
+	}()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := n.Dial(ctx, ap("10.0.0.1:25"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Write([]byte("ping")); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}

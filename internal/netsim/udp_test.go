@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	n := New()
+	server, err := n.ListenPacket(ap("10.0.0.1:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	go func() {
+		buf := make([]byte, 512)
+		nr, from, err := server.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		server.WriteTo(append([]byte("re:"), buf[:nr]...), from)
+	}()
+
+	client, err := n.DialUDP(ap("10.0.0.1:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Write([]byte("query")); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	nr, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nr]) != "re:query" {
+		t.Errorf("reply = %q", buf[:nr])
+	}
+}
+
+func TestUDPPortConflictAndEphemeral(t *testing.T) {
+	n := New()
+	a, err := n.ListenPacket(ap("10.0.0.1:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := n.ListenPacket(ap("10.0.0.1:53")); !errors.Is(err, ErrUDPPortInUse) {
+		t.Errorf("dup bind err = %v", err)
+	}
+	e1, err := n.ListenPacket(netip.AddrPortFrom(netip.MustParseAddr("10.0.0.1"), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	e2, err := n.ListenPacket(netip.AddrPortFrom(netip.MustParseAddr("10.0.0.1"), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e1.LocalAddr().String() == e2.LocalAddr().String() {
+		t.Error("ephemeral ports collide")
+	}
+}
+
+func TestUDPDropsToNowhere(t *testing.T) {
+	n := New()
+	client, err := n.DialUDP(ap("10.9.9.9:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Writes succeed (fire-and-forget), reads time out.
+	if _, err := client.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, err := client.Read(make([]byte, 16)); err == nil {
+		t.Error("read from nowhere succeeded")
+	} else {
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Errorf("err = %v, want timeout", err)
+		}
+	}
+}
+
+func TestUDPBlackholeDropsDatagrams(t *testing.T) {
+	n := New()
+	server, _ := n.ListenPacket(ap("10.0.0.2:53"))
+	defer server.Close()
+	n.SetFault(netip.MustParseAddr("10.0.0.2"), FaultBlackhole)
+	client, err := n.DialUDP(ap("10.0.0.2:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Write([]byte("x"))
+	server.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, _, err := server.ReadFrom(make([]byte, 16)); err == nil {
+		t.Error("blackholed datagram delivered")
+	}
+}
+
+func TestUDPCloseUnblocksAndUnbinds(t *testing.T) {
+	n := New()
+	pc, _ := n.ListenPacket(ap("10.0.0.3:53"))
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := pc.ReadFrom(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	pc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("read after close = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not unblock reader")
+	}
+	// Port is free again.
+	pc2, err := n.ListenPacket(ap("10.0.0.3:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc2.Close()
+	// Operations on closed conns fail cleanly.
+	if _, err := pc.WriteTo([]byte("x"), pc2.LocalAddr()); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("write on closed = %v", err)
+	}
+}
+
+func TestUDPFiltersForeignPeers(t *testing.T) {
+	n := New()
+	server, _ := n.ListenPacket(ap("10.0.0.4:53"))
+	defer server.Close()
+	intruder, _ := n.ListenPacket(ap("10.0.0.5:1000"))
+	defer intruder.Close()
+
+	client, err := n.DialUDP(ap("10.0.0.4:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	clientAddr := client.LocalAddr()
+
+	// The intruder sends first; then the real server replies.
+	intruder.WriteTo([]byte("spoof"), clientAddr)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		server.WriteTo([]byte("real"), clientAddr)
+	}()
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	nr, err := client.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nr]) != "real" {
+		t.Errorf("connected UDP accepted foreign datagram: %q", buf[:nr])
+	}
+}

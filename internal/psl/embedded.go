@@ -1,0 +1,200 @@
+package psl
+
+// Default is the package's embedded Public Suffix List snapshot. It is a
+// curated subset of the upstream list: all generic TLDs and country-code
+// TLDs used by this repository's world generator and experiments, plus the
+// multi-label and wildcard/exception rules needed to exercise every branch
+// of the matching algorithm.
+//
+// The snapshot intentionally mirrors the upstream file format (comments,
+// sections) so it can be swapped for a full copy of the published list
+// without code changes.
+var Default = MustParse(embeddedRules)
+
+const embeddedRules = `
+// ===BEGIN ICANN DOMAINS===
+
+// Generic TLDs
+com
+net
+org
+edu
+gov
+mil
+int
+info
+biz
+name
+io
+co
+me
+tv
+cc
+ws
+app
+dev
+cloud
+email
+goog
+
+// gov.* style registries
+fed.us
+state.us
+us
+
+// United Kingdom
+uk
+ac.uk
+co.uk
+gov.uk
+ltd.uk
+me.uk
+net.uk
+nhs.uk
+org.uk
+plc.uk
+police.uk
+*.sch.uk
+
+// Japan: wildcard city domains plus exceptions, per upstream.
+jp
+ac.jp
+ad.jp
+co.jp
+ed.jp
+go.jp
+gr.jp
+lg.jp
+ne.jp
+or.jp
+*.kawasaki.jp
+*.kitakyushu.jp
+*.kobe.jp
+*.nagoya.jp
+*.sapporo.jp
+*.sendai.jp
+*.yokohama.jp
+!city.kawasaki.jp
+!city.kitakyushu.jp
+!city.kobe.jp
+!city.nagoya.jp
+!city.sapporo.jp
+!city.sendai.jp
+!city.yokohama.jp
+
+// Brazil
+br
+com.br
+net.br
+org.br
+gov.br
+edu.br
+
+// Argentina
+ar
+com.ar
+net.ar
+org.ar
+gob.ar
+edu.ar
+
+// France
+fr
+asso.fr
+com.fr
+gouv.fr
+
+// Germany
+de
+
+// Italy
+it
+gov.it
+edu.it
+
+// Spain
+es
+com.es
+nom.es
+org.es
+gob.es
+edu.es
+
+// Romania
+ro
+com.ro
+org.ro
+store.ro
+
+// Canada
+ca
+gc.ca
+
+// Australia
+au
+com.au
+net.au
+org.au
+edu.au
+gov.au
+id.au
+
+// Russia
+ru
+com.ru
+msk.ru
+spb.ru
+
+// China
+cn
+ac.cn
+com.cn
+edu.cn
+gov.cn
+net.cn
+org.cn
+mil.cn
+
+// India
+in
+co.in
+firm.in
+net.in
+org.in
+gen.in
+ind.in
+gov.in
+nic.in
+
+// Singapore
+sg
+com.sg
+net.sg
+org.sg
+gov.sg
+edu.sg
+
+// Netherlands
+nl
+
+// Ukraine
+ua
+com.ua
+net.ua
+org.ua
+gov.ua
+in.ua
+
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+
+// Hosting providers that register customer subdomains, mirroring upstream
+// private-section entries. These matter for VPS certificate handling.
+blogspot.com
+appspot.com
+herokuapp.com
+github.io
+cloudfront.net
+
+// ===END PRIVATE DOMAINS===
+`

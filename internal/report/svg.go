@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteSVG renders the chart as a standalone SVG line plot — the
+// graphical counterpart of WriteText, used to regenerate the paper's
+// figures as image files.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	const (
+		width     = 760
+		height    = 420
+		marginL   = 60
+		marginR   = 170
+		marginT   = 40
+		marginB   = 50
+		plotW     = width - marginL - marginR
+		plotH     = height - marginT - marginB
+		tickCount = 5
+	)
+	maxV := 0.0
+	for _, s := range c.series {
+		for _, v := range s.values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	maxV *= 1.08 // headroom
+
+	x := func(i int) float64 {
+		if len(c.XLabels) <= 1 {
+			return marginL
+		}
+		return marginL + float64(i)/float64(len(c.XLabels)-1)*plotW
+	}
+	y := func(v float64) float64 {
+		return marginT + (1-v/maxV)*plotH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, escapeXML(c.Title))
+
+	// Axes and horizontal grid.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	for i := 0; i <= tickCount; i++ {
+		v := maxV * float64(i) / tickCount
+		yy := y(v)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, yy, marginL+plotW, yy)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%.1f%%</text>`+"\n",
+			marginL-6, yy+4, v)
+	}
+	// X labels, thinned when crowded.
+	step := 1
+	if len(c.XLabels) > 6 {
+		step = 2
+	}
+	for i := 0; i < len(c.XLabels); i += step {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x(i), marginT+plotH+18, escapeXML(c.XLabels[i]))
+	}
+
+	// Series polylines with a color-blind-friendly palette.
+	palette := []string{
+		"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+		"#aa3377", "#bbbbbb", "#000000",
+	}
+	for si, s := range c.series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range s.values {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(i), y(v)))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i, v := range s.values {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", x(i), y(v), color)
+		}
+		// Legend entry.
+		ly := marginT + 16*si
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+plotW+12, ly, marginL+plotW+34, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n",
+			marginL+plotW+40, ly+4, escapeXML(s.name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartSVG(t *testing.T) {
+	c := NewChart("Share & <trends>", []string{"2017", "2019", "2021"})
+	c.AddSeries("Google", []float64{26.2, 27.3, 28.5})
+	c.AddSeries("Self-Hosted", []float64{11.7, 9.8, 7.9})
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"Share &amp; &lt;trends&gt;", // XML escaping
+		"polyline",
+		"Google", "Self-Hosted",
+		"2017", "2021",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("polyline count = %d, want 2", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestChartSVGEmptyAndFlat(t *testing.T) {
+	c := NewChart("Empty", []string{"a"})
+	c.AddSeries("zero", []float64{0})
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Error("degenerate chart did not render")
+	}
+}

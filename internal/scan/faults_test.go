@@ -1,0 +1,103 @@
+package scan
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"mxmap/internal/dns"
+	"mxmap/internal/netsim"
+	"mxmap/internal/smtp"
+)
+
+// TestCollectorUnderFaults injects network failures mid-corpus and
+// checks that the collector degrades per-host rather than failing the
+// snapshot: refused hosts show a closed port, blackholed hosts time out
+// into closed-port observations, and healthy hosts are unaffected.
+func TestCollectorUnderFaults(t *testing.T) {
+	n := netsim.New()
+	cat := dns.NewCatalog()
+
+	mkDomain := func(name, ip string) {
+		z := dns.NewZone(name)
+		z.MustAdd(dns.RR{Name: name + ".", Type: dns.TypeMX, TTL: 1,
+			Data: dns.MXData{Preference: 10, Exchange: "mx." + name + "."}})
+		z.MustAdd(dns.RR{Name: "mx." + name + ".", Type: dns.TypeA, TTL: 1,
+			Data: dns.AData{Addr: netip.MustParseAddr(ip)}})
+		cat.AddZone(z)
+	}
+	startSMTP := func(ip, hostname string) {
+		srv, err := smtp.NewServer(smtp.Config{Hostname: hostname})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := n.Listen(netip.MustParseAddrPort(ip + ":25"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+	}
+
+	mkDomain("healthy.test", "10.0.0.1")
+	startSMTP("10.0.0.1", "mx.healthy.test")
+	mkDomain("refused.test", "10.0.0.2")
+	startSMTP("10.0.0.2", "mx.refused.test")
+	n.SetFault(netip.MustParseAddr("10.0.0.2"), netsim.FaultRefuse)
+	mkDomain("blackhole.test", "10.0.0.3")
+	startSMTP("10.0.0.3", "mx.blackhole.test")
+	n.SetFault(netip.MustParseAddr("10.0.0.3"), netsim.FaultBlackhole)
+	mkDomain("noserver.test", "10.0.0.4")
+
+	col := &Collector{
+		Resolver: dns.CatalogResolver{Catalog: cat},
+		Dialer:   shortTimeoutDialer{n},
+	}
+	start := time.Now()
+	snap, err := col.Collect(context.Background(), "faults", "now", []Target{
+		{Name: "healthy.test"}, {Name: "refused.test"},
+		{Name: "blackhole.test"}, {Name: "noserver.test"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("fault handling took too long")
+	}
+	expect := map[string]bool{ // addr -> port open
+		"10.0.0.1": true,
+		"10.0.0.2": false,
+		"10.0.0.3": false,
+		"10.0.0.4": false,
+	}
+	for addr, wantOpen := range expect {
+		info, ok := snap.IP(netip.MustParseAddr(addr))
+		if !ok {
+			t.Errorf("%s missing from snapshot", addr)
+			continue
+		}
+		if info.Port25Open != wantOpen {
+			t.Errorf("%s: Port25Open = %v, want %v", addr, info.Port25Open, wantOpen)
+		}
+		if !info.HasCensys {
+			t.Errorf("%s: coverage lost under fault", addr)
+		}
+	}
+	if info, _ := snap.IP(netip.MustParseAddr("10.0.0.1")); info.Scan == nil || info.Scan.BannerHost != "mx.healthy.test" {
+		t.Errorf("healthy host mis-scanned: %+v", info)
+	}
+}
+
+// shortTimeoutDialer bounds each dial so the blackholed host cannot stall
+// the test for the scanner's default 10s timeout.
+type shortTimeoutDialer struct {
+	n *netsim.Network
+}
+
+func (d shortTimeoutDialer) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	defer cancel()
+	return d.n.DialContext(ctx, network, address)
+}

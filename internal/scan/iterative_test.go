@@ -1,0 +1,93 @@
+package scan
+
+import (
+	"context"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mxmap/internal/dns"
+	"mxmap/internal/world"
+)
+
+// TestIterativeMatchesCatalog measures the same corpus date twice — once
+// with the in-memory catalog shortcut and once with full iterative
+// resolution against the delegated root/TLD/authoritative hierarchy on
+// the fabric — and requires identical snapshots. This is the strongest
+// evidence that the fast path used by the large experiments has the same
+// semantics as wire-faithful resolution.
+func TestIterativeMatchesCatalog(t *testing.T) {
+	w, err := world.Generate(world.Config{Seed: 23, Scale: 0.001, TailProviders: 10, SelfISPs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewWorldSession(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	date := "2021-06"
+
+	infra, err := w.StartDNS(sess.Net, date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer infra.Close()
+	t.Logf("DNS hierarchy: %d servers", infra.NumServers())
+
+	catalog, err := w.CatalogAt(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corpus := w.Corpus(world.CorpusAlexa)
+	targets := make([]Target, 0, 60)
+	for i, d := range corpus.Domains {
+		if i >= 60 {
+			break
+		}
+		targets = append(targets, Target{Name: d.Name, Rank: d.Rank})
+	}
+
+	collect := func(r dns.Resolver) map[string]string {
+		col := &Collector{
+			Resolver:   r,
+			Dialer:     sess.Net,
+			Trust:      w.Trust,
+			Prefixes:   w.Prefixes,
+			ASRegistry: w.ASRegistry,
+		}
+		snap, err := col.Collect(context.Background(), "alexa", date, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Normalize to a comparable map: domain -> MX signature.
+		out := make(map[string]string, len(snap.Domains))
+		for _, d := range snap.Domains {
+			sig := ""
+			for _, mx := range d.MX {
+				addrs := append([]netip.Addr(nil), mx.Addrs...)
+				sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+				sig += mx.Exchange + "="
+				for _, a := range addrs {
+					sig += a.String() + ","
+				}
+				sig += ";"
+			}
+			out[d.Domain] = sig
+		}
+		return out
+	}
+
+	viaCatalog := collect(dns.CatalogResolver{Catalog: catalog})
+	viaWire := collect(infra.NewIterativeResolver(sess.Net))
+
+	if !reflect.DeepEqual(viaCatalog, viaWire) {
+		for domain, sig := range viaCatalog {
+			if viaWire[domain] != sig {
+				t.Errorf("%s:\n catalog: %s\n wire:    %s", domain, sig, viaWire[domain])
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package scan implements the measurement pipeline that joins the two
+// external data sources the paper relies on: an OpenINTEL-style active
+// DNS collection (domain → MX → A) and a Censys-style port-25 scan
+// (IP → banner, EHLO, STARTTLS certificate chain). The output is a
+// dataset.Snapshot ready for the inference methodology.
+package scan
+
+import (
+	"context"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+
+	"mxmap/internal/asn"
+	"mxmap/internal/certs"
+	"mxmap/internal/dataset"
+	"mxmap/internal/dns"
+	"mxmap/internal/smtp"
+)
+
+// Collector gathers one snapshot. All fields except Resolver and Dialer
+// are optional.
+type Collector struct {
+	// Resolver answers MX and A lookups (the OpenINTEL substitute).
+	Resolver dns.Resolver
+	// Dialer reaches SMTP endpoints (the scanning substrate).
+	Dialer smtp.Dialer
+	// Trust validates STARTTLS certificates ("trusted by a major
+	// browser"); nil marks every certificate invalid.
+	Trust *certs.TrustStore
+	// Prefixes maps addresses to origin ASNs; nil leaves ASNs zero.
+	Prefixes *asn.Table
+	// ASRegistry names ASNs; nil leaves names empty.
+	ASRegistry *asn.Registry
+	// Covered reports whether the scanning service has data for an
+	// address (the Censys-coverage oracle); nil means full coverage.
+	Covered func(addr netip.Addr) bool
+	// Concurrency bounds parallel DNS resolutions and SMTP scans
+	// (default 32).
+	Concurrency int
+}
+
+// Target is one domain to measure, with its list rank when known.
+type Target struct {
+	// Name is the registered domain.
+	Name string
+	// Rank is the source-list rank (0 when not ranked).
+	Rank int
+}
+
+// Collect measures the given domains and assembles a snapshot labelled
+// with the date and corpus name.
+func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []Target) (*dataset.Snapshot, error) {
+	workers := c.Concurrency
+	if workers <= 0 {
+		workers = 32
+	}
+	snap := dataset.NewSnapshot(date, corpus)
+
+	// Phase 1: DNS. Resolve every domain's MX set and every distinct
+	// exchange's A set.
+	records := make([]dataset.DomainRecord, len(domains))
+	var (
+		aCacheMu sync.Mutex
+		aCache   = make(map[string][]netip.Addr)
+	)
+	resolveA := func(host string) []netip.Addr {
+		aCacheMu.Lock()
+		addrs, ok := aCache[host]
+		aCacheMu.Unlock()
+		if ok {
+			return addrs
+		}
+		addrs, err := c.Resolver.LookupA(ctx, host)
+		if err != nil {
+			addrs = nil
+		}
+		// The IPv6 extension: collect AAAA records alongside A.
+		if v6, err := c.Resolver.LookupAAAA(ctx, host); err == nil {
+			addrs = append(addrs, v6...)
+		}
+		aCacheMu.Lock()
+		aCache[host] = addrs
+		aCacheMu.Unlock()
+		return addrs
+	}
+	txtResolver, hasTXT := c.Resolver.(dns.TXTResolver)
+	runParallel(len(domains), workers, func(i int) {
+		rec := dataset.DomainRecord{Domain: domains[i].Name, Rank: domains[i].Rank}
+		mxs, err := c.Resolver.LookupMX(ctx, domains[i].Name)
+		if err == nil {
+			for _, mx := range mxs {
+				rec.MX = append(rec.MX, dataset.MXObs{
+					Preference: mx.Preference,
+					Exchange:   mx.Exchange,
+					Addrs:      resolveA(mx.Exchange),
+				})
+			}
+		}
+		if hasTXT {
+			if txts, err := txtResolver.LookupTXT(ctx, domains[i].Name); err == nil {
+				for _, txt := range txts {
+					if strings.HasPrefix(strings.ToLower(txt), "v=spf1") {
+						rec.SPF = txt
+						break
+					}
+				}
+			}
+		}
+		records[i] = rec
+	})
+	for i := range records {
+		snap.AddDomain(records[i])
+	}
+
+	// Phase 2: SMTP. Scan each distinct address once.
+	addrSet := make(map[netip.Addr]bool)
+	for i := range records {
+		for _, mx := range records[i].MX {
+			for _, a := range mx.Addrs {
+				addrSet[a] = true
+			}
+		}
+	}
+	addrs := make([]netip.Addr, 0, len(addrSet))
+	for a := range addrSet {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+
+	infos := make([]dataset.IPInfo, len(addrs))
+	runParallel(len(addrs), workers, func(i int) {
+		infos[i] = c.scanIP(ctx, addrs[i])
+	})
+	for _, info := range infos {
+		snap.AddIP(info)
+	}
+	return snap, nil
+}
+
+// scanIP produces the IP-level observation for one address.
+func (c *Collector) scanIP(ctx context.Context, addr netip.Addr) dataset.IPInfo {
+	info := dataset.IPInfo{Addr: addr}
+	if c.Prefixes != nil {
+		if a, ok := c.Prefixes.Lookup(addr); ok {
+			info.ASN = a
+			if c.ASRegistry != nil {
+				if as, ok := c.ASRegistry.Lookup(a); ok {
+					info.ASName = as.Name
+				}
+			}
+		}
+	}
+	if c.Covered != nil && !c.Covered(addr) {
+		return info // scanning service blind spot
+	}
+	info.HasCensys = true
+
+	res := smtp.Scan(ctx, netip.AddrPortFrom(addr, 25).String(), smtp.ScanConfig{Dialer: c.Dialer})
+	if !res.Connected || res.Banner == "" {
+		return info
+	}
+	info.Port25Open = true
+	si := &dataset.ScanInfo{
+		Banner:     res.Banner,
+		BannerHost: res.BannerHost,
+		EHLOHost:   res.EHLOHost,
+		STARTTLS:   res.SupportsSTARTTLS,
+	}
+	if len(res.PeerCertificates) > 0 {
+		leaf := res.PeerCertificates[0]
+		si.CertPresent = true
+		si.CertFingerprint = certs.Fingerprint(leaf)
+		si.CertNames = certs.Names(leaf)
+		if c.Trust != nil && c.Trust.Validate(res.PeerCertificates) == nil {
+			si.CertValid = true
+		}
+	}
+	info.Scan = si
+	return info
+}
+
+// runParallel executes fn(i) for i in [0,n) on up to `workers`
+// goroutines.
+func runParallel(n, workers int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,211 @@
+package smtp
+
+import (
+	"context"
+	"encoding/base64"
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"mxmap/internal/netsim"
+)
+
+func submissionServer(t *testing.T, n *netsim.Network, addr string, requireTLS bool) {
+	t.Helper()
+	ca := testCA(t)
+	startServer(t, n, addr, Config{
+		Hostname:           "submit.provider.com",
+		TLS:                leafTLS(t, ca, "submit.provider.com"),
+		Auth:               StaticAuth{"alice": "s3cret", "bob": "hunter2"},
+		RequireTLSForAuth:  requireTLS,
+		RequireAuthForMail: true,
+	})
+}
+
+func TestStaticAuth(t *testing.T) {
+	a := StaticAuth{"alice": "s3cret"}
+	if err := a.Authenticate("alice", "s3cret"); err != nil {
+		t.Errorf("valid login rejected: %v", err)
+	}
+	if err := a.Authenticate("alice", "wrong"); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("bad password: %v", err)
+	}
+	if err := a.Authenticate("mallory", "s3cret"); !errors.Is(err, ErrBadCredentials) {
+		t.Errorf("unknown user: %v", err)
+	}
+}
+
+func TestSubmitAuthenticated(t *testing.T) {
+	n := netsim.New()
+	submissionServer(t, n, "192.0.2.20:587", false)
+	var (
+		mu  sync.Mutex
+		got []Envelope
+	)
+	// Re-create with a message sink.
+	n2 := netsim.New()
+	ca := testCA(t)
+	startServer(t, n2, "192.0.2.20:587", Config{
+		Hostname:           "submit.provider.com",
+		TLS:                leafTLS(t, ca, "submit.provider.com"),
+		Auth:               StaticAuth{"alice": "s3cret"},
+		RequireAuthForMail: true,
+		OnMessage: func(e Envelope) {
+			mu.Lock()
+			got = append(got, e)
+			mu.Unlock()
+		},
+	})
+	err := Submit(context.Background(), n2, "192.0.2.20:587", "laptop.local",
+		ClientAuth{Username: "alice", Password: "s3cret"},
+		"alice@provider.com", []string{"bob@elsewhere.net"}, []byte("Subject: hi\r\n\r\nbody\r\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].From != "alice@provider.com" {
+		t.Errorf("envelopes = %+v", got)
+	}
+}
+
+func TestSubmitRejectedWithoutAuth(t *testing.T) {
+	n := netsim.New()
+	submissionServer(t, n, "192.0.2.21:587", false)
+	err := SendMail(context.Background(), n, "192.0.2.21:587", "laptop.local",
+		"alice@provider.com", []string{"bob@elsewhere.net"}, []byte("x\r\n"), nil)
+	if err == nil {
+		t.Fatal("unauthenticated MAIL accepted by submission server")
+	}
+}
+
+func TestSubmitBadCredentials(t *testing.T) {
+	n := netsim.New()
+	submissionServer(t, n, "192.0.2.22:587", false)
+	err := Submit(context.Background(), n, "192.0.2.22:587", "laptop.local",
+		ClientAuth{Username: "alice", Password: "WRONG"},
+		"a@b.c", []string{"d@e.f"}, []byte("x\r\n"), nil)
+	if err == nil {
+		t.Fatal("bad credentials accepted")
+	}
+}
+
+func TestAuthRequiresTLSWhenConfigured(t *testing.T) {
+	n := netsim.New()
+	submissionServer(t, n, "192.0.2.23:587", true)
+	conn, err := n.Dial(context.Background(), netip.MustParseAddrPort("192.0.2.23:587"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	rd := newReader(conn)
+	readReply(rd)
+	rep, err := exchange(conn, rd, "EHLO c.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AUTH must not be advertised pre-TLS...
+	if replyAdvertises(rep, "AUTH PLAIN LOGIN") {
+		t.Error("AUTH advertised before TLS")
+	}
+	// ...and attempting it anyway gets 538.
+	rep, err = exchange(conn, rd, "AUTH PLAIN "+ClientAuth{Username: "alice", Password: "s3cret"}.plainResponse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Code != 538 {
+		t.Errorf("pre-TLS AUTH code = %d, want 538", rep.Code)
+	}
+}
+
+func TestAuthLoginMechanism(t *testing.T) {
+	n := netsim.New()
+	ca := testCA(t)
+	startServer(t, n, "192.0.2.24:587", Config{
+		Hostname: "submit.provider.com",
+		TLS:      leafTLS(t, ca, "submit.provider.com"),
+		Auth:     StaticAuth{"alice": "s3cret"},
+	})
+	conn, err := n.Dial(context.Background(), netip.MustParseAddrPort("192.0.2.24:587"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	rd := newReader(conn)
+	readReply(rd)
+	exchange(conn, rd, "EHLO c.example")
+	b64 := func(s string) string { return base64.StdEncoding.EncodeToString([]byte(s)) }
+	rep, err := exchange(conn, rd, "AUTH LOGIN")
+	if err != nil || rep.Code != 334 {
+		t.Fatalf("AUTH LOGIN: %v %v", rep, err)
+	}
+	rep, err = exchange(conn, rd, b64("alice"))
+	if err != nil || rep.Code != 334 {
+		t.Fatalf("username step: %v %v", rep, err)
+	}
+	rep, err = exchange(conn, rd, b64("s3cret"))
+	if err != nil || rep.Code != 235 {
+		t.Fatalf("password step: %v %v", rep, err)
+	}
+}
+
+func TestAuthProtocolErrors(t *testing.T) {
+	n := netsim.New()
+	startServer(t, n, "192.0.2.25:587", Config{
+		Hostname: "submit.provider.com",
+		Auth:     StaticAuth{"alice": "s3cret"},
+	})
+	conn, err := n.Dial(context.Background(), netip.MustParseAddrPort("192.0.2.25:587"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	rd := newReader(conn)
+	readReply(rd)
+	exchange(conn, rd, "EHLO c.example")
+	expect := func(cmd string, want int) {
+		t.Helper()
+		rep, err := exchange(conn, rd, cmd)
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if rep.Code != want {
+			t.Errorf("%s: code %d, want %d", cmd, rep.Code, want)
+		}
+	}
+	expect("AUTH CRAM-MD5", 504)
+	expect("AUTH PLAIN not-base64!!!", 501)
+	expect("AUTH PLAIN "+base64.StdEncoding.EncodeToString([]byte("only-two\x00parts")), 501)
+	// Cancelled challenge.
+	rep, _ := exchange(conn, rd, "AUTH PLAIN")
+	if rep.Code != 334 {
+		t.Fatalf("challenge code = %d", rep.Code)
+	}
+	expect("*", 501)
+	// Successful auth, then a second AUTH is refused.
+	expect("AUTH PLAIN "+ClientAuth{Username: "alice", Password: "s3cret"}.plainResponse(), 235)
+	expect("AUTH PLAIN "+ClientAuth{Username: "alice", Password: "s3cret"}.plainResponse(), 503)
+}
+
+func TestAuthDisabled(t *testing.T) {
+	n := netsim.New()
+	startServer(t, n, "192.0.2.26:25", Config{Hostname: "mx.example.com"})
+	conn, err := n.Dial(context.Background(), netip.MustParseAddrPort("192.0.2.26:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	rd := newReader(conn)
+	readReply(rd)
+	exchange(conn, rd, "EHLO c.example")
+	rep, err := exchange(conn, rd, "AUTH PLAIN xxx")
+	if err != nil || rep.Code != 502 {
+		t.Errorf("AUTH on relay server: %v %v", rep, err)
+	}
+}

@@ -1,0 +1,335 @@
+package smtp
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// An Envelope is one received message: its envelope addresses and body.
+type Envelope struct {
+	From string
+	To   []string
+	Data []byte
+}
+
+// Config parameterizes a Server. The zero value is not valid; Hostname is
+// required.
+type Config struct {
+	// Hostname is the identity the server announces in its banner and
+	// EHLO response. The paper's methodology treats this as the
+	// Banner/EHLO signal; it may be any text the operator configures —
+	// including a non-FQDN string or a false claim — which Banner and
+	// EHLOName below can arrange.
+	Hostname string
+	// Banner overrides the greeting text after "220 " (default
+	// "<Hostname> ESMTP Service ready").
+	Banner string
+	// EHLOName overrides the identity in the EHLO response (default
+	// Hostname). This models servers whose banner and EHLO disagree.
+	EHLOName string
+	// TLS enables STARTTLS with the given configuration when non-nil.
+	TLS *tls.Config
+	// OnMessage receives each completed envelope; nil accepts and
+	// discards mail.
+	OnMessage func(Envelope)
+	// Auth enables SMTP-AUTH (PLAIN and LOGIN) when non-nil.
+	Auth Authenticator
+	// RequireTLSForAuth refuses AUTH before STARTTLS (RFC 4954 §4).
+	RequireTLSForAuth bool
+	// RequireAuthForMail turns the server into a submission agent
+	// (RFC 6409): MAIL is refused until the client authenticates.
+	RequireAuthForMail bool
+	// MaxMessageBytes bounds DATA payloads (default
+	// DefaultMaxMessageBytes).
+	MaxMessageBytes int64
+	// ReadTimeout bounds waiting for each client command (default 60s).
+	ReadTimeout time.Duration
+	// Logger receives session-level debug records; nil disables logging.
+	Logger *slog.Logger
+}
+
+// A Server accepts SMTP sessions on one or more listeners.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	lns    []net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer validates cfg and creates a server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Hostname == "" {
+		return nil, errors.New("smtp: config requires a hostname")
+	}
+	if cfg.Banner == "" {
+		cfg.Banner = cfg.Hostname + " ESMTP Service ready"
+	}
+	if cfg.EHLOName == "" {
+		cfg.EHLOName = cfg.Hostname
+	}
+	if cfg.MaxMessageBytes == 0 {
+		cfg.MaxMessageBytes = DefaultMaxMessageBytes
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 60 * time.Second
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Serve accepts connections on ln until the server is closed. It blocks;
+// run it in a goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.lns = append(s.lns, ln)
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close stops all listeners and waits for sessions to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := s.lns
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// session holds per-connection state.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	rd   *reader
+
+	helloSeen     bool
+	tlsActive     bool
+	authenticated bool
+	username      string
+	from          string
+	to            []string
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{srv: s, conn: conn, rd: newReader(conn)}
+	if err := sess.reply(220, s.cfg.Banner); err != nil {
+		return
+	}
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+			return
+		}
+		line, err := sess.rd.line()
+		if err != nil {
+			if errors.Is(err, ErrLineTooLong) {
+				sess.reply(500, "Line too long")
+				continue
+			}
+			return
+		}
+		verb, arg := command(line)
+		done, err := sess.dispatch(verb, arg)
+		if err != nil {
+			s.logf("session error: %v", err)
+			return
+		}
+		if done {
+			return
+		}
+	}
+}
+
+func (sess *session) reply(code int, lines ...string) error {
+	return writeReply(sess.conn, code, lines...)
+}
+
+// dispatch executes one command; done=true ends the session.
+func (sess *session) dispatch(verb, arg string) (done bool, err error) {
+	switch verb {
+	case "HELO":
+		sess.resetTransaction()
+		sess.helloSeen = true
+		return false, sess.reply(250, sess.srv.cfg.EHLOName)
+	case "EHLO":
+		sess.resetTransaction()
+		sess.helloSeen = true
+		lines := []string{sess.srv.cfg.EHLOName}
+		lines = append(lines, "PIPELINING", fmt.Sprintf("SIZE %d", sess.srv.cfg.MaxMessageBytes), "8BITMIME")
+		if sess.srv.cfg.TLS != nil && !sess.tlsActive {
+			lines = append(lines, "STARTTLS")
+		}
+		if sess.srv.cfg.Auth != nil && (!sess.srv.cfg.RequireTLSForAuth || sess.tlsActive) {
+			lines = append(lines, "AUTH PLAIN LOGIN")
+		}
+		return false, sess.reply(250, lines...)
+	case "STARTTLS":
+		return false, sess.startTLS()
+	case "AUTH":
+		return false, sess.handleAuth(arg)
+	case "MAIL":
+		return false, sess.mail(arg)
+	case "RCPT":
+		return false, sess.rcpt(arg)
+	case "DATA":
+		return false, sess.data()
+	case "RSET":
+		sess.resetTransaction()
+		return false, sess.reply(250, "OK")
+	case "NOOP":
+		return false, sess.reply(250, "OK")
+	case "VRFY":
+		return false, sess.reply(252, "Cannot VRFY user, but will accept message")
+	case "QUIT":
+		sess.reply(221, sess.srv.cfg.EHLOName+" closing connection")
+		return true, nil
+	case "":
+		return false, sess.reply(500, "Empty command")
+	default:
+		return false, sess.reply(502, "Command not implemented")
+	}
+}
+
+func (sess *session) startTLS() error {
+	if sess.srv.cfg.TLS == nil {
+		return sess.reply(502, "STARTTLS not offered")
+	}
+	if sess.tlsActive {
+		return sess.reply(503, "TLS already active")
+	}
+	if err := sess.reply(220, "Ready to start TLS"); err != nil {
+		return err
+	}
+	tlsConn := tls.Server(sess.conn, sess.srv.cfg.TLS)
+	if err := tlsConn.SetDeadline(time.Now().Add(sess.srv.cfg.ReadTimeout)); err != nil {
+		return err
+	}
+	if err := tlsConn.Handshake(); err != nil {
+		// RFC 3207: if the handshake fails the connection state is
+		// undefined; close it.
+		return fmt.Errorf("smtp: TLS handshake: %w", err)
+	}
+	tlsConn.SetDeadline(time.Time{})
+	sess.conn = tlsConn
+	sess.rd = newReader(tlsConn)
+	sess.tlsActive = true
+	// RFC 3207 §4.2: the server must discard client state from before
+	// the handshake.
+	sess.helloSeen = false
+	sess.authenticated = false
+	sess.username = ""
+	sess.resetTransaction()
+	return nil
+}
+
+func (sess *session) mail(arg string) error {
+	if !sess.helloSeen {
+		return sess.reply(503, "Send HELO/EHLO first")
+	}
+	if sess.srv.cfg.RequireAuthForMail && !sess.authenticated {
+		// RFC 4954 §6: submission servers reject unauthenticated MAIL.
+		return sess.reply(530, "Authentication required")
+	}
+	if sess.from != "" {
+		return sess.reply(503, "Nested MAIL command")
+	}
+	path, err := parsePath(arg, "FROM")
+	if err != nil {
+		return sess.reply(501, "Syntax: MAIL FROM:<address>")
+	}
+	sess.from = path
+	return sess.reply(250, "OK")
+}
+
+func (sess *session) rcpt(arg string) error {
+	if sess.from == "" {
+		return sess.reply(503, "Need MAIL before RCPT")
+	}
+	path, err := parsePath(arg, "TO")
+	if err != nil {
+		return sess.reply(501, "Syntax: RCPT TO:<address>")
+	}
+	if path == "" {
+		return sess.reply(501, "Empty recipient")
+	}
+	const maxRecipients = 100
+	if len(sess.to) >= maxRecipients {
+		return sess.reply(452, "Too many recipients")
+	}
+	sess.to = append(sess.to, path)
+	return sess.reply(250, "OK")
+}
+
+func (sess *session) data() error {
+	if sess.from == "" || len(sess.to) == 0 {
+		return sess.reply(503, "Need MAIL and RCPT before DATA")
+	}
+	if err := sess.reply(354, "Start mail input; end with <CRLF>.<CRLF>"); err != nil {
+		return err
+	}
+	dr := newDotReader(sess.rd, sess.srv.cfg.MaxMessageBytes)
+	body, err := io.ReadAll(dr)
+	if err != nil {
+		return err
+	}
+	if dr.tooLong {
+		sess.resetTransaction()
+		return sess.reply(552, "Message exceeds maximum size")
+	}
+	if cb := sess.srv.cfg.OnMessage; cb != nil {
+		cb(Envelope{From: sess.from, To: sess.to, Data: body})
+	}
+	sess.resetTransaction()
+	return sess.reply(250, "OK: message accepted")
+}
+
+func (sess *session) resetTransaction() {
+	sess.from = ""
+	sess.to = nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Debug(strings.TrimSpace(fmt.Sprintf(format, args...)))
+	}
+}

@@ -1,0 +1,512 @@
+package smtp
+
+import (
+	"context"
+	"crypto/tls"
+	"math/rand/v2"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mxmap/internal/certs"
+	"mxmap/internal/netsim"
+)
+
+// startServer runs an SMTP server on the fabric at addr and registers
+// cleanup.
+func startServer(t testing.TB, n *netsim.Network, addr string, cfg Config) *Server {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := n.Listen(netip.MustParseAddrPort(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func leafTLS(t testing.TB, ca *certs.CA, cn string, sans ...string) *tls.Config {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7, 9))
+	leaf, err := ca.Issue(certs.LeafSpec{CommonName: cn, DNSNames: sans}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tls.Config{Certificates: []tls.Certificate{leaf.TLSCertificate()}}
+}
+
+func testCA(t testing.TB) *certs.CA {
+	t.Helper()
+	ca, err := certs.NewCA("Test Root", rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestScanPlainServer(t *testing.T) {
+	n := netsim.New()
+	startServer(t, n, "192.0.2.1:25", Config{Hostname: "mx1.provider.com"})
+	res := Scan(context.Background(), "192.0.2.1:25", ScanConfig{Dialer: n})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Connected {
+		t.Error("not connected")
+	}
+	if res.BannerHost != "mx1.provider.com" {
+		t.Errorf("BannerHost = %q", res.BannerHost)
+	}
+	if res.EHLOHost != "mx1.provider.com" {
+		t.Errorf("EHLOHost = %q", res.EHLOHost)
+	}
+	if res.SupportsSTARTTLS {
+		t.Error("plain server advertised STARTTLS")
+	}
+	if len(res.PeerCertificates) != 0 {
+		t.Error("plain server yielded certificates")
+	}
+}
+
+func TestScanSTARTTLSServer(t *testing.T) {
+	n := netsim.New()
+	ca := testCA(t)
+	startServer(t, n, "192.0.2.2:25", Config{
+		Hostname: "mx.google.test",
+		TLS:      leafTLS(t, ca, "mx.google.test", "mx.google.test", "alt1.google.test"),
+	})
+	res := Scan(context.Background(), "192.0.2.2:25", ScanConfig{Dialer: n})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.SupportsSTARTTLS || !res.TLSHandshakeOK {
+		t.Fatalf("STARTTLS failed: %+v", res)
+	}
+	if len(res.PeerCertificates) == 0 {
+		t.Fatal("no certificates captured")
+	}
+	leaf := res.PeerCertificates[0]
+	if leaf.Subject.CommonName != "mx.google.test" {
+		t.Errorf("leaf CN = %q", leaf.Subject.CommonName)
+	}
+	names := certs.Names(leaf)
+	if len(names) != 2 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestScanBannerEHLODisagree(t *testing.T) {
+	n := netsim.New()
+	startServer(t, n, "192.0.2.3:25", Config{
+		Hostname: "real.example.com",
+		Banner:   "IP-192-0-2-3 ready", // non-FQDN banner, like the paper's corner case
+		EHLOName: "claimed.other.com",
+	})
+	res := Scan(context.Background(), "192.0.2.3:25", ScanConfig{Dialer: n})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.BannerHost != "IP-192-0-2-3" {
+		t.Errorf("BannerHost = %q", res.BannerHost)
+	}
+	if res.EHLOHost != "claimed.other.com" {
+		t.Errorf("EHLOHost = %q", res.EHLOHost)
+	}
+}
+
+func TestScanConnectionRefused(t *testing.T) {
+	n := netsim.New()
+	res := Scan(context.Background(), "192.0.2.9:25", ScanConfig{Dialer: n})
+	if res.Connected || res.Err == nil {
+		t.Errorf("scan of missing host: %+v", res)
+	}
+}
+
+func TestScanBlackholeTimesOut(t *testing.T) {
+	n := netsim.New()
+	n.SetFault(netip.MustParseAddr("192.0.2.8"), netsim.FaultBlackhole)
+	start := time.Now()
+	res := Scan(context.Background(), "192.0.2.8:25", ScanConfig{Dialer: n, Timeout: 50 * time.Millisecond})
+	if res.Connected || res.Err == nil {
+		t.Errorf("blackhole scan: %+v", res)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("scan did not respect timeout")
+	}
+}
+
+func TestScanSkipSTARTTLS(t *testing.T) {
+	n := netsim.New()
+	ca := testCA(t)
+	startServer(t, n, "192.0.2.4:25", Config{
+		Hostname: "mx.example.com",
+		TLS:      leafTLS(t, ca, "mx.example.com"),
+	})
+	res := Scan(context.Background(), "192.0.2.4:25", ScanConfig{Dialer: n, SkipSTARTTLS: true})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.SupportsSTARTTLS {
+		t.Error("STARTTLS not advertised")
+	}
+	if res.TLSHandshakeOK || len(res.PeerCertificates) != 0 {
+		t.Error("certificates collected despite SkipSTARTTLS")
+	}
+}
+
+func TestSendMailEndToEnd(t *testing.T) {
+	n := netsim.New()
+	ca := testCA(t)
+	var (
+		mu   sync.Mutex
+		seen []Envelope
+	)
+	startServer(t, n, "192.0.2.5:25", Config{
+		Hostname: "mx.rcpt.com",
+		TLS:      leafTLS(t, ca, "mx.rcpt.com"),
+		OnMessage: func(e Envelope) {
+			mu.Lock()
+			defer mu.Unlock()
+			seen = append(seen, e)
+		},
+	})
+	ts := certs.NewTrustStore(ca)
+	body := []byte("Subject: hello\r\n\r\nline one\r\n.leading dot line\r\n")
+	tlsCfg := &tls.Config{
+		RootCAs: ts.Pool(),
+		// A relaying MTA validates against the MX host name it resolved,
+		// not the literal IP it dialed.
+		ServerName: "mx.rcpt.com",
+		// Simulated certificates are valid around the paper's measurement
+		// window, not around the test's wall clock.
+		Time: func() time.Time { return certs.SimNow },
+	}
+	err := SendMail(context.Background(), n, "192.0.2.5:25", "sender.example.com",
+		"alice@sender.example.com", []string{"bob@rcpt.com"}, body, tlsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 {
+		t.Fatalf("messages = %d", len(seen))
+	}
+	e := seen[0]
+	if e.From != "alice@sender.example.com" || len(e.To) != 1 || e.To[0] != "bob@rcpt.com" {
+		t.Errorf("envelope = %+v", e)
+	}
+	if !strings.Contains(string(e.Data), ".leading dot line") {
+		t.Errorf("dot-stuffing broken: %q", e.Data)
+	}
+	if strings.Contains(string(e.Data), "..leading") {
+		t.Errorf("dot-unstuffing broken: %q", e.Data)
+	}
+}
+
+func TestSendMailPlainNoTLS(t *testing.T) {
+	n := netsim.New()
+	var got Envelope
+	var mu sync.Mutex
+	startServer(t, n, "192.0.2.6:25", Config{
+		Hostname:  "plain.example.com",
+		OnMessage: func(e Envelope) { mu.Lock(); got = e; mu.Unlock() },
+	})
+	err := SendMail(context.Background(), n, "192.0.2.6:25", "c.example.com",
+		"a@b.c", []string{"d@e.f"}, []byte("hi\r\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got.From != "a@b.c" {
+		t.Errorf("envelope = %+v", got)
+	}
+}
+
+func TestServerCommandSequencing(t *testing.T) {
+	n := netsim.New()
+	startServer(t, n, "192.0.2.7:25", Config{Hostname: "mx.example.com"})
+	conn, err := n.Dial(context.Background(), netip.MustParseAddrPort("192.0.2.7:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := newReader(conn)
+	expect := func(cmd string, wantCode int) {
+		t.Helper()
+		var rep Reply
+		var err error
+		if cmd == "" {
+			rep, err = readReply(rd)
+		} else {
+			rep, err = exchange(conn, rd, cmd)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if rep.Code != wantCode {
+			t.Errorf("%s: code = %d, want %d", cmd, rep.Code, wantCode)
+		}
+	}
+	expect("", 220)                        // banner
+	expect("MAIL FROM:<a@b.c>", 503)       // before EHLO
+	expect("EHLO client.example.com", 250) //
+	expect("RCPT TO:<x@y.z>", 503)         // before MAIL
+	expect("MAIL FROM:<a@b.c>", 250)       //
+	expect("MAIL FROM:<a@b.c>", 503)       // nested MAIL
+	expect("DATA", 503)                    // no RCPT yet
+	expect("RCPT TO:<x@y.z>", 250)         //
+	expect("RSET", 250)                    //
+	expect("DATA", 503)                    // RSET cleared transaction
+	expect("BADCMD", 502)                  //
+	expect("VRFY someone", 252)            //
+	expect("NOOP", 250)                    //
+	expect("STARTTLS", 502)                // not offered
+	expect("MAIL FROM:bad-syntax", 501)    //
+	expect("MAIL FROM:<a@b.c>", 250)       //
+	expect("RCPT TO:", 501)                //
+	expect("QUIT", 221)                    //
+}
+
+func TestServerMessageTooLarge(t *testing.T) {
+	n := netsim.New()
+	startServer(t, n, "192.0.2.10:25", Config{Hostname: "mx.example.com", MaxMessageBytes: 64})
+	conn, err := n.Dial(context.Background(), netip.MustParseAddrPort("192.0.2.10:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := newReader(conn)
+	readReply(rd)
+	exchange(conn, rd, "EHLO c.example.com")
+	exchange(conn, rd, "MAIL FROM:<a@b.c>")
+	exchange(conn, rd, "RCPT TO:<x@y.z>")
+	rep, err := exchange(conn, rd, "DATA")
+	if err != nil || rep.Code != 354 {
+		t.Fatalf("DATA: %v %v", rep, err)
+	}
+	big := strings.Repeat("x", 200)
+	if _, err := conn.Write([]byte(big + "\r\n.\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = readReply(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Code != 552 {
+		t.Errorf("oversize message code = %d, want 552", rep.Code)
+	}
+	// Session must remain usable.
+	if rep, err := exchange(conn, rd, "NOOP"); err != nil || rep.Code != 250 {
+		t.Errorf("session broken after oversize: %v %v", rep, err)
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Error("NewServer accepted empty hostname")
+	}
+}
+
+func TestScanManyConcurrent(t *testing.T) {
+	n := netsim.New()
+	ca := testCA(t)
+	const hosts = 20
+	for i := 0; i < hosts; i++ {
+		addr := netip.AddrFrom4([4]byte{10, 0, 1, byte(i + 1)})
+		startServer(t, n, addr.String()+":25", Config{
+			Hostname: "mx.provider.com",
+			TLS:      leafTLS(t, ca, "mx.provider.com"),
+		})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, hosts)
+	for i := 0; i < hosts; i++ {
+		addr := netip.AddrFrom4([4]byte{10, 0, 1, byte(i + 1)})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := Scan(context.Background(), addr.String()+":25", ScanConfig{Dialer: n})
+			if res.Err != nil {
+				errs <- res.Err
+			} else if !res.TLSHandshakeOK {
+				errs <- context.DeadlineExceeded
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestScanOverRealSockets exercises the identical client/server pair over
+// the OS loopback instead of the fabric, validating that nothing in the
+// implementation depends on netsim specifics.
+func TestScanOverRealSockets(t *testing.T) {
+	ca := testCA(t)
+	srv, err := NewServer(Config{
+		Hostname: "mx.real.test",
+		TLS:      leafTLS(t, ca, "mx.real.test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	res := Scan(context.Background(), ln.Addr().String(), ScanConfig{Dialer: &net.Dialer{}})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.BannerHost != "mx.real.test" || !res.TLSHandshakeOK {
+		t.Errorf("real-socket scan: %+v", res)
+	}
+}
+
+func TestReplyParsing(t *testing.T) {
+	cases := []struct {
+		in      string
+		code    int
+		lines   int
+		wantErr bool
+	}{
+		{"220 hello\r\n", 220, 1, false},
+		{"250-first\r\n250-second\r\n250 last\r\n", 250, 3, false},
+		{"25x bad\r\n", 0, 0, true},
+		{"250-first\r\n550 mixed\r\n", 0, 0, true},
+		{"2\r\n", 0, 0, true},
+		{"250\r\n", 250, 1, false}, // bare code line
+	}
+	for _, c := range cases {
+		rep, err := readReply(newReader(strings.NewReader(c.in)))
+		if (err != nil) != c.wantErr {
+			t.Errorf("readReply(%q) err = %v", c.in, err)
+			continue
+		}
+		if err == nil && (rep.Code != c.code || len(rep.Lines) != c.lines) {
+			t.Errorf("readReply(%q) = %+v", c.in, rep)
+		}
+	}
+}
+
+func TestReplyStringRoundTrip(t *testing.T) {
+	rep := Reply{Code: 250, Lines: []string{"mx.example.com", "PIPELINING", "STARTTLS"}}
+	parsed, err := readReply(newReader(strings.NewReader(rep.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Code != rep.Code || len(parsed.Lines) != len(rep.Lines) {
+		t.Errorf("round trip: %+v", parsed)
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	cases := []struct {
+		arg, prefix, want string
+		wantErr           bool
+	}{
+		{"FROM:<a@b.c>", "FROM", "a@b.c", false},
+		{"from:<a@b.c>", "FROM", "a@b.c", false},
+		{"FROM: <a@b.c>", "FROM", "a@b.c", false},
+		{"FROM:<>", "FROM", "", false}, // null return path is legal
+		{"FROM:<a@b.c> SIZE=100", "FROM", "a@b.c", false},
+		{"TO:<x@y.z>", "TO", "x@y.z", false},
+		{"FROM:a@b.c", "FROM", "", true},
+		{"FROM:<a@b.c", "FROM", "", true},
+		{"TO:<x@y.z>", "FROM", "", true},
+	}
+	for _, c := range cases {
+		got, err := parsePath(c.arg, c.prefix)
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("parsePath(%q, %q) = (%q, %v)", c.arg, c.prefix, got, err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	n := netsim.New()
+	srv, err := NewServer(Config{Hostname: "mx.bench.com"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := n.Listen(netip.MustParseAddrPort("10.9.9.9:25"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Scan(ctx, "10.9.9.9:25", ScanConfig{Dialer: n})
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// TestServerPipelining sends a whole command batch in one write, as a
+// PIPELINING client would, and reads the replies back in order.
+func TestServerPipelining(t *testing.T) {
+	n := netsim.New()
+	var got Envelope
+	var mu sync.Mutex
+	startServer(t, n, "192.0.2.30:25", Config{
+		Hostname:  "mx.pipeline.test",
+		OnMessage: func(e Envelope) { mu.Lock(); got = e; mu.Unlock() },
+	})
+	conn, err := n.Dial(context.Background(), netip.MustParseAddrPort("192.0.2.30:25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	rd := newReader(conn)
+	if rep, err := readReply(rd); err != nil || rep.Code != 220 {
+		t.Fatalf("banner: %v %v", rep, err)
+	}
+	batch := "EHLO client.test\r\n" +
+		"MAIL FROM:<a@b.c>\r\n" +
+		"RCPT TO:<x@y.z>\r\n" +
+		"DATA\r\n"
+	if _, err := conn.Write([]byte(batch)); err != nil {
+		t.Fatal(err)
+	}
+	wantCodes := []int{250, 250, 250, 354}
+	for i, want := range wantCodes {
+		rep, err := readReply(rd)
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if rep.Code != want {
+			t.Fatalf("reply %d code = %d, want %d", i, rep.Code, want)
+		}
+	}
+	if _, err := conn.Write([]byte("pipelined body\r\n.\r\nQUIT\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := readReply(rd); err != nil || rep.Code != 250 {
+		t.Fatalf("data ack: %v %v", rep, err)
+	}
+	if rep, err := readReply(rd); err != nil || rep.Code != 221 {
+		t.Fatalf("quit ack: %v %v", rep, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got.From != "a@b.c" || !strings.Contains(string(got.Data), "pipelined body") {
+		t.Errorf("envelope = %+v", got)
+	}
+}

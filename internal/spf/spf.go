@@ -1,0 +1,271 @@
+// Package spf implements the subset of the Sender Policy Framework
+// (RFC 7208) needed for the paper's proposed future-work heuristic: the
+// MX record only reveals the first delivery hop, so when a domain routes
+// inbound mail through a filtering service, the SPF policy — which must
+// authorize the real mailbox provider's outbound servers — often reveals
+// the "eventual" provider (§3.4 of the paper).
+//
+// The package parses v=spf1 records, and walks include: and redirect=
+// chains through a TXT resolver to collect every authorized network and
+// included organization.
+package spf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Qualifier is an SPF mechanism qualifier.
+type Qualifier byte
+
+// Qualifiers.
+const (
+	QPass     Qualifier = '+'
+	QFail     Qualifier = '-'
+	QSoftFail Qualifier = '~'
+	QNeutral  Qualifier = '?'
+)
+
+// Mechanism kinds.
+type MechKind int
+
+// Mechanism kinds recognized by the parser.
+const (
+	MechAll MechKind = iota
+	MechInclude
+	MechA
+	MechMX
+	MechIP4
+	MechIP6
+	MechExists
+	MechPTR
+)
+
+var mechNames = map[MechKind]string{
+	MechAll: "all", MechInclude: "include", MechA: "a", MechMX: "mx",
+	MechIP4: "ip4", MechIP6: "ip6", MechExists: "exists", MechPTR: "ptr",
+}
+
+// String names the mechanism kind.
+func (k MechKind) String() string { return mechNames[k] }
+
+// Mechanism is one parsed SPF term.
+type Mechanism struct {
+	// Qualifier defaults to QPass.
+	Qualifier Qualifier
+	// Kind selects the mechanism.
+	Kind MechKind
+	// Domain is the target of include/a/mx/exists/ptr (optional for the
+	// latter three).
+	Domain string
+	// Prefix is the network of ip4/ip6.
+	Prefix netip.Prefix
+}
+
+// Record is one parsed v=spf1 policy.
+type Record struct {
+	// Mechanisms in order of appearance.
+	Mechanisms []Mechanism
+	// Redirect is the redirect= modifier target, if any.
+	Redirect string
+}
+
+// Errors.
+var (
+	// ErrNotSPF reports a TXT record that is not a v=spf1 policy.
+	ErrNotSPF = errors.New("spf: not an spf record")
+	// ErrSyntax reports a malformed policy.
+	ErrSyntax = errors.New("spf: syntax error")
+	// ErrNoRecord reports a domain without an SPF policy.
+	ErrNoRecord = errors.New("spf: no spf record")
+	// ErrLoop reports an include/redirect chain exceeding RFC 7208's
+	// lookup limit.
+	ErrLoop = errors.New("spf: too many dns lookups")
+)
+
+// Parse parses one TXT string as an SPF record.
+func Parse(txt string) (*Record, error) {
+	fields := strings.Fields(strings.TrimSpace(txt))
+	if len(fields) == 0 || !strings.EqualFold(fields[0], "v=spf1") {
+		return nil, ErrNotSPF
+	}
+	rec := &Record{}
+	for _, f := range fields[1:] {
+		lower := strings.ToLower(f)
+		if target, ok := strings.CutPrefix(lower, "redirect="); ok {
+			if target == "" {
+				return nil, fmt.Errorf("%w: empty redirect", ErrSyntax)
+			}
+			rec.Redirect = target
+			continue
+		}
+		if strings.Contains(lower, "=") {
+			continue // unknown modifier (exp=, etc.): ignored per RFC
+		}
+		m, err := parseMechanism(lower)
+		if err != nil {
+			return nil, err
+		}
+		rec.Mechanisms = append(rec.Mechanisms, m)
+	}
+	return rec, nil
+}
+
+func parseMechanism(s string) (Mechanism, error) {
+	m := Mechanism{Qualifier: QPass}
+	switch {
+	case s == "":
+		return m, fmt.Errorf("%w: empty term", ErrSyntax)
+	case s[0] == '+', s[0] == '-', s[0] == '~', s[0] == '?':
+		m.Qualifier = Qualifier(s[0])
+		s = s[1:]
+	}
+	name, arg, hasArg := strings.Cut(s, ":")
+	switch name {
+	case "all":
+		m.Kind = MechAll
+		if hasArg {
+			return m, fmt.Errorf("%w: all takes no argument", ErrSyntax)
+		}
+	case "include":
+		m.Kind = MechInclude
+		if !hasArg || arg == "" {
+			return m, fmt.Errorf("%w: include requires a domain", ErrSyntax)
+		}
+		m.Domain = arg
+	case "a", "mx", "exists", "ptr":
+		switch name {
+		case "a":
+			m.Kind = MechA
+		case "mx":
+			m.Kind = MechMX
+		case "exists":
+			m.Kind = MechExists
+		case "ptr":
+			m.Kind = MechPTR
+		}
+		// Strip any dual-cidr suffix ("a:dom/24" or "a/24").
+		m.Domain = strings.SplitN(arg, "/", 2)[0]
+	case "ip4", "ip6":
+		if name == "ip4" {
+			m.Kind = MechIP4
+		} else {
+			m.Kind = MechIP6
+		}
+		if !hasArg || arg == "" {
+			return m, fmt.Errorf("%w: %s requires a network", ErrSyntax, name)
+		}
+		if !strings.Contains(arg, "/") {
+			if name == "ip4" {
+				arg += "/32"
+			} else {
+				arg += "/128"
+			}
+		}
+		p, err := netip.ParsePrefix(arg)
+		if err != nil {
+			return m, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		m.Prefix = p
+	default:
+		return m, fmt.Errorf("%w: unknown mechanism %q", ErrSyntax, name)
+	}
+	return m, nil
+}
+
+// TXTResolver supplies TXT lookups for the include walker.
+type TXTResolver interface {
+	LookupTXT(ctx context.Context, domain string) ([]string, error)
+}
+
+// Senders is everything a domain's SPF policy authorizes to send on its
+// behalf, flattened through include and redirect chains.
+type Senders struct {
+	// Includes lists every include/redirect target encountered, in
+	// discovery order — the organizational fingerprint of the outbound
+	// mail path.
+	Includes []string
+	// Networks lists every ip4/ip6 network authorized.
+	Networks []netip.Prefix
+	// UsesAMX reports that the policy authorizes the domain's own A/MX
+	// hosts (a strong self-hosting signal).
+	UsesAMX bool
+}
+
+// maxLookups mirrors RFC 7208 §4.6.4's limit of 10 DNS-querying terms.
+const maxLookups = 10
+
+// Walk fetches and flattens the SPF policy of domain.
+func Walk(ctx context.Context, r TXTResolver, domain string) (*Senders, error) {
+	s := &Senders{}
+	budget := maxLookups
+	seen := make(map[string]bool)
+	if err := walk(ctx, r, strings.ToLower(domain), s, seen, &budget); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func walk(ctx context.Context, r TXTResolver, domain string, s *Senders, seen map[string]bool, budget *int) error {
+	if seen[domain] {
+		return nil
+	}
+	seen[domain] = true
+	rec, err := Lookup(ctx, r, domain)
+	if err != nil {
+		return err
+	}
+	for _, m := range rec.Mechanisms {
+		if m.Qualifier == QFail {
+			continue // "-mechanism" authorizes nothing
+		}
+		switch m.Kind {
+		case MechInclude:
+			s.Includes = append(s.Includes, m.Domain)
+			*budget--
+			if *budget < 0 {
+				return ErrLoop
+			}
+			// Includes of domains without SPF records are permerrors in
+			// full SPF; for provider discovery they are still signal, so
+			// record and continue.
+			if err := walk(ctx, r, m.Domain, s, seen, budget); err != nil && !errors.Is(err, ErrNoRecord) {
+				return err
+			}
+		case MechIP4, MechIP6:
+			s.Networks = append(s.Networks, m.Prefix)
+		case MechA, MechMX:
+			s.UsesAMX = true
+		}
+	}
+	if rec.Redirect != "" {
+		s.Includes = append(s.Includes, rec.Redirect)
+		*budget--
+		if *budget < 0 {
+			return ErrLoop
+		}
+		if err := walk(ctx, r, rec.Redirect, s, seen, budget); err != nil && !errors.Is(err, ErrNoRecord) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup fetches a domain's SPF record from its TXT records.
+func Lookup(ctx context.Context, r TXTResolver, domain string) (*Record, error) {
+	txts, err := r.LookupTXT(ctx, domain)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrNoRecord, domain, err)
+	}
+	for _, txt := range txts {
+		rec, err := Parse(txt)
+		if errors.Is(err, ErrNotSPF) {
+			continue
+		}
+		return rec, err
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoRecord, domain)
+}

@@ -1,0 +1,203 @@
+package spf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	rec, err := Parse("v=spf1 include:_spf.google.com ~all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Mechanisms) != 2 {
+		t.Fatalf("mechanisms = %+v", rec.Mechanisms)
+	}
+	if rec.Mechanisms[0].Kind != MechInclude || rec.Mechanisms[0].Domain != "_spf.google.com" {
+		t.Errorf("m0 = %+v", rec.Mechanisms[0])
+	}
+	if rec.Mechanisms[1].Kind != MechAll || rec.Mechanisms[1].Qualifier != QSoftFail {
+		t.Errorf("m1 = %+v", rec.Mechanisms[1])
+	}
+}
+
+func TestParseMechanismZoo(t *testing.T) {
+	rec, err := Parse("v=spf1 ip4:192.0.2.0/24 ip4:198.51.100.7 ip6:2001:db8::/32 a mx a:mail.example.com mx:other.example.com/24 exists:%{i}.sbl.example.org -all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []MechKind{MechIP4, MechIP4, MechIP6, MechA, MechMX, MechA, MechMX, MechExists, MechAll}
+	if len(rec.Mechanisms) != len(kinds) {
+		t.Fatalf("count = %d", len(rec.Mechanisms))
+	}
+	for i, k := range kinds {
+		if rec.Mechanisms[i].Kind != k {
+			t.Errorf("m%d kind = %v, want %v", i, rec.Mechanisms[i].Kind, k)
+		}
+	}
+	if rec.Mechanisms[1].Prefix.String() != "198.51.100.7/32" {
+		t.Errorf("bare ip4 = %v", rec.Mechanisms[1].Prefix)
+	}
+	if rec.Mechanisms[6].Domain != "other.example.com" {
+		t.Errorf("mx dual-cidr domain = %q", rec.Mechanisms[6].Domain)
+	}
+	if rec.Mechanisms[8].Qualifier != QFail {
+		t.Errorf("all qualifier = %c", rec.Mechanisms[8].Qualifier)
+	}
+}
+
+func TestParseRedirectAndModifiers(t *testing.T) {
+	rec, err := Parse("v=spf1 exp=explain.example.com redirect=_spf.provider.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Redirect != "_spf.provider.net" {
+		t.Errorf("redirect = %q", rec.Redirect)
+	}
+	if len(rec.Mechanisms) != 0 {
+		t.Errorf("mechanisms = %+v", rec.Mechanisms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want error
+	}{
+		{"not spf at all", ErrNotSPF},
+		{"v=spf2 all", ErrNotSPF},
+		{"v=spf1 include:", ErrSyntax},
+		{"v=spf1 ip4:banana", ErrSyntax},
+		{"v=spf1 ip4:", ErrSyntax},
+		{"v=spf1 all:arg", ErrSyntax},
+		{"v=spf1 wat", ErrSyntax},
+		{"v=spf1 redirect=", ErrSyntax},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.in); !errors.Is(err, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, err, c.want)
+		}
+	}
+}
+
+// fakeTXT is a map-backed TXTResolver.
+type fakeTXT map[string][]string
+
+func (f fakeTXT) LookupTXT(_ context.Context, domain string) ([]string, error) {
+	txts, ok := f[domain]
+	if !ok {
+		return nil, fmt.Errorf("NXDOMAIN %s", domain)
+	}
+	return txts, nil
+}
+
+func TestWalkFlattensIncludes(t *testing.T) {
+	r := fakeTXT{
+		"customer.com":    {"unrelated txt", "v=spf1 include:_spf.filter.net -all"},
+		"_spf.filter.net": {"v=spf1 ip4:203.0.113.0/24 include:spf.outlook.example ~all"},
+		"spf.outlook.example": {
+			"v=spf1 ip4:198.51.100.0/24 ip4:192.0.2.0/24 -all",
+		},
+	}
+	s, err := Walk(context.Background(), r, "customer.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIncludes := []string{"_spf.filter.net", "spf.outlook.example"}
+	if len(s.Includes) != 2 || s.Includes[0] != wantIncludes[0] || s.Includes[1] != wantIncludes[1] {
+		t.Errorf("includes = %v", s.Includes)
+	}
+	if len(s.Networks) != 3 {
+		t.Errorf("networks = %v", s.Networks)
+	}
+	if s.UsesAMX {
+		t.Error("UsesAMX should be false")
+	}
+}
+
+func TestWalkSelfHostedSignal(t *testing.T) {
+	r := fakeTXT{"self.com": {"v=spf1 a mx ip4:100.64.1.1 -all"}}
+	s, err := Walk(context.Background(), r, "self.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.UsesAMX || len(s.Networks) != 1 || len(s.Includes) != 0 {
+		t.Errorf("senders = %+v", s)
+	}
+}
+
+func TestWalkRedirect(t *testing.T) {
+	r := fakeTXT{
+		"r.com":        {"v=spf1 redirect=_spf.host.io"},
+		"_spf.host.io": {"v=spf1 ip4:10.0.0.0/8 -all"},
+	}
+	s, err := Walk(context.Background(), r, "r.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Includes) != 1 || s.Includes[0] != "_spf.host.io" || len(s.Networks) != 1 {
+		t.Errorf("senders = %+v", s)
+	}
+}
+
+func TestWalkLoopBounded(t *testing.T) {
+	r := fakeTXT{
+		"a.com": {"v=spf1 include:b.com -all"},
+		"b.com": {"v=spf1 include:a.com -all"},
+	}
+	// Mutual includes terminate via the seen-set without error.
+	s, err := Walk(context.Background(), r, "a.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Includes) != 2 {
+		t.Errorf("includes = %v", s.Includes)
+	}
+	// A long non-repeating chain exhausts the lookup budget.
+	chain := fakeTXT{}
+	for i := 0; i < 15; i++ {
+		chain[fmt.Sprintf("d%d.com", i)] = []string{fmt.Sprintf("v=spf1 include:d%d.com -all", i+1)}
+	}
+	chain["d15.com"] = []string{"v=spf1 -all"}
+	if _, err := Walk(context.Background(), chain, "d0.com"); !errors.Is(err, ErrLoop) {
+		t.Errorf("long chain err = %v, want ErrLoop", err)
+	}
+}
+
+func TestWalkMissingInclude(t *testing.T) {
+	// Includes pointing at domains without SPF are recorded but don't
+	// abort the walk.
+	r := fakeTXT{
+		"x.com": {"v=spf1 include:gone.example ip4:10.1.0.0/16 -all"},
+	}
+	s, err := Walk(context.Background(), r, "x.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Includes) != 1 || len(s.Networks) != 1 {
+		t.Errorf("senders = %+v", s)
+	}
+}
+
+func TestWalkNoRecord(t *testing.T) {
+	r := fakeTXT{"y.com": {"just text"}}
+	if _, err := Walk(context.Background(), r, "y.com"); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("err = %v, want ErrNoRecord", err)
+	}
+	if _, err := Walk(context.Background(), r, "absent.com"); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("err = %v, want ErrNoRecord", err)
+	}
+}
+
+func TestFailQualifierAuthorizesNothing(t *testing.T) {
+	r := fakeTXT{"z.com": {"v=spf1 -ip4:10.0.0.0/8 -include:never.example ~all"}}
+	s, err := Walk(context.Background(), r, "z.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Networks) != 0 || len(s.Includes) != 0 {
+		t.Errorf("negative mechanisms leaked: %+v", s)
+	}
+}
