@@ -11,9 +11,12 @@ import (
 	"testing"
 
 	"mxmap/internal/analysis"
+	"mxmap/internal/asn"
+	"mxmap/internal/benchdata"
 	"mxmap/internal/core"
 	"mxmap/internal/dataset"
 	"mxmap/internal/experiments"
+	"mxmap/internal/psl"
 	"mxmap/internal/world"
 )
 
@@ -242,4 +245,77 @@ func BenchmarkAblationStrictBannerAgreement(b *testing.B) {
 		acc = accuracyOf(s, core.ApproachPriority, cfg)
 	}
 	b.ReportMetric(acc, "accuracy%")
+}
+
+// --- Inference pipeline benchmarks -----------------------------------
+//
+// BenchmarkInferSerial*/BenchmarkInferParallel* measure the five-step
+// methodology end to end on a synthetic corpus (internal/benchdata) at
+// two scales. The serial variants pin Parallelism to 1; the parallel
+// variants use the GOMAXPROCS default, so comparing the pair on a
+// multi-core machine shows the worker-pool speedup while single-core
+// machines show the two are equivalent. Both report domains/sec.
+
+func benchdataProfiles() []core.ProviderProfile {
+	var out []core.ProviderProfile
+	for _, id := range benchdata.ProfileIDs() {
+		out = append(out, core.ProviderProfile{
+			ID:   id,
+			ASNs: []asn.ASN{asn.ASN(benchdata.ProfileASN(id))},
+			VPSPatterns: []string{
+				"vps*." + id, "s*-*-*." + id,
+			},
+			DedicatedPatterns: []string{
+				"mx*." + id, "mailstore*." + id,
+			},
+		})
+	}
+	return out
+}
+
+func benchmarkInfer(b *testing.B, nDomains, parallelism int) {
+	snap := benchdata.Snapshot(nDomains)
+	cfg := core.Config{Profiles: benchdataProfiles(), Parallelism: parallelism}
+	snap.Index() // steady-state: the derived index is cached across runs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Infer(snap, core.ApproachPriority, cfg)
+	}
+	b.ReportMetric(float64(nDomains)*float64(b.N)/b.Elapsed().Seconds(), "domains/sec")
+}
+
+func BenchmarkInferSerial2k(b *testing.B)    { benchmarkInfer(b, 2_000, 1) }
+func BenchmarkInferParallel2k(b *testing.B)  { benchmarkInfer(b, 2_000, 0) }
+func BenchmarkInferSerial20k(b *testing.B)   { benchmarkInfer(b, 20_000, 1) }
+func BenchmarkInferParallel20k(b *testing.B) { benchmarkInfer(b, 20_000, 0) }
+
+// BenchmarkPSLRegisteredDomain compares cold PSL suffix matching against
+// the sharded memo that the inference pipeline threads through its hot
+// paths. The host mix mirrors inference traffic: a handful of popular
+// exchange names dominating a long tail of per-domain hosts.
+func benchmarkPSL(b *testing.B, lookup func(host string) (string, bool)) {
+	hosts := make([]string, 512)
+	for i := range hosts {
+		switch {
+		case i%4 == 0:
+			hosts[i] = "mx1.bigmail-0.com"
+		case i%4 == 1:
+			hosts[i] = "mx2.secure-0.net"
+		default:
+			hosts[i] = "mail.customer-" + string(rune('a'+i%26)) + ".example.co.uk"
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lookup(hosts[i%len(hosts)])
+	}
+}
+
+func BenchmarkPSLRegisteredDomainCold(b *testing.B) {
+	benchmarkPSL(b, psl.Default.RegisteredDomain)
+}
+
+func BenchmarkPSLRegisteredDomainMemoized(b *testing.B) {
+	memo := psl.NewMemo(nil)
+	benchmarkPSL(b, memo.RegisteredDomain)
 }

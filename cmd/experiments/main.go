@@ -34,13 +34,22 @@ import (
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 0.05, "fraction of the paper's corpus sizes to simulate")
-		seed   = flag.Uint64("seed", 1, "world generation seed")
-		outDir = flag.String("out", "", "directory to write artifacts into (optional)")
-		only   = flag.String("only", "", "comma-separated subset: fig4,table4,table5,fig5,fig6,fig7,fig8,table6")
-		sample = flag.Int("sample", 200, "Figure 4 sample size per corpus variant")
+		scale       = flag.Float64("scale", 0.05, "fraction of the paper's corpus sizes to simulate")
+		seed        = flag.Uint64("seed", 1, "world generation seed")
+		outDir      = flag.String("out", "", "directory to write artifacts into (optional)")
+		only        = flag.String("only", "", "comma-separated subset: fig4,table4,table5,fig5,fig6,fig7,fig8,table6")
+		sample      = flag.Int("sample", 200, "Figure 4 sample size per corpus variant")
+		parallelism = flag.Int("parallelism", 0, "inference/collection worker count (0 = GOMAXPROCS, 1 = serial)")
+		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline and write BENCH_infer.json instead of regenerating artifacts")
 	)
 	flag.Parse()
+
+	if *runBench {
+		if err := runInferBench(*outDir, *parallelism); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	wanted := func(name string) bool {
 		if *only == "" {
@@ -61,6 +70,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer study.Close()
+	study.Parallelism = *parallelism
 	fmt.Fprintf(os.Stderr, "world ready in %v (%d hosts)\n", time.Since(start).Round(time.Millisecond), len(study.World.Hosts))
 
 	ctx := context.Background()

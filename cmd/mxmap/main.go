@@ -28,6 +28,7 @@ func main() {
 		approach    = flag.String("approach", "priority", "inference approach: mx, cert, banner or priority")
 		top         = flag.Int("top", 15, "number of providers in the ranking")
 		showDomains = flag.Bool("domains", false, "print per-domain attributions instead of the ranking")
+		parallelism = flag.Int("parallelism", 0, "inference worker count (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -44,7 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	dir := companies.Curated()
-	cfg := core.Config{Profiles: profilesFrom(dir)}
+	cfg := core.Config{Profiles: profilesFrom(dir), Parallelism: *parallelism}
 	res := core.Infer(snap, ap, cfg)
 
 	if *showDomains {

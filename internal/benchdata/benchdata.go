@@ -1,0 +1,194 @@
+// Package benchdata synthesizes deterministic, realistically shaped
+// measurement snapshots for benchmarks and equivalence tests, without
+// paying for world generation or a simulated network. The shape mirrors
+// the corpus composition the paper reports: a handful of dominant
+// outsourced providers serving most domains through shared MX fleets,
+// a tier of e-mail security companies, a long tail of self-hosters with
+// their own certificates or banner-only servers, VPS corner cases that
+// exercise the misidentification pass, and domains with no MX or no scan
+// data at all.
+package benchdata
+
+import (
+	"fmt"
+	"net/netip"
+
+	"mxmap/internal/asn"
+	"mxmap/internal/dataset"
+)
+
+// provider describes one synthetic operator's fleet.
+type provider struct {
+	id     string // registered domain, e.g. "bigmail-0.com"
+	nMX    int    // MX hosts in the fleet
+	perMX  int    // addresses per MX host
+	asn    uint32
+	shared bool // one cert spanning the fleet (else per-host certs)
+}
+
+// Snapshot builds a deterministic snapshot with nDomains domains. The
+// same nDomains always yields byte-for-byte identical content, so serial
+// and parallel inference runs over it are directly comparable.
+func Snapshot(nDomains int) *dataset.Snapshot {
+	s := dataset.NewSnapshot("2021-06", "bench")
+
+	providers := []provider{
+		{id: "bigmail-0.com", nMX: 8, perMX: 4, asn: 64600, shared: true},
+		{id: "bigmail-1.com", nMX: 8, perMX: 4, asn: 64601, shared: true},
+		{id: "bigmail-2.com", nMX: 6, perMX: 2, asn: 64602, shared: true},
+		{id: "secure-0.net", nMX: 4, perMX: 2, asn: 64610, shared: true},
+		{id: "secure-1.net", nMX: 4, perMX: 2, asn: 64611, shared: true},
+		{id: "hosting-0.com", nMX: 4, perMX: 1, asn: 64620, shared: false},
+		{id: "hosting-1.com", nMX: 4, perMX: 1, asn: 64621, shared: false},
+	}
+
+	// Provider infrastructure: MX hosts, addresses, scans, certificates.
+	mxHosts := make([][]dataset.MXObs, len(providers))
+	nextAddr := uint32(1)
+	addr := func() netip.Addr {
+		a := netip.AddrFrom4([4]byte{10, byte(nextAddr >> 16), byte(nextAddr >> 8), byte(nextAddr)})
+		nextAddr++
+		return a
+	}
+	for pi, p := range providers {
+		var fleetNames []string
+		for m := 0; m < p.nMX; m++ {
+			fleetNames = append(fleetNames, fmt.Sprintf("mx%d.%s", m, p.id))
+		}
+		for m := 0; m < p.nMX; m++ {
+			host := fleetNames[m]
+			obs := dataset.MXObs{Preference: 10, Exchange: host}
+			for a := 0; a < p.perMX; a++ {
+				ip := addr()
+				obs.Addrs = append(obs.Addrs, ip)
+				scan := &dataset.ScanInfo{
+					Banner:      host + " ESMTP",
+					BannerHost:  host,
+					EHLOHost:    host,
+					STARTTLS:    true,
+					CertPresent: true,
+					CertValid:   true,
+				}
+				if p.shared {
+					// One certificate naming the whole fleet: all hosts
+					// group together in step 1.
+					scan.CertFingerprint = "fp-" + p.id
+					scan.CertNames = fleetNames
+				} else {
+					scan.CertFingerprint = "fp-" + host
+					scan.CertNames = []string{host}
+				}
+				s.AddIP(dataset.IPInfo{
+					Addr: ip, ASN: asn.ASN(p.asn), ASName: "AS-" + p.id,
+					HasCensys: true, Port25Open: true, Scan: scan,
+				})
+			}
+			mxHosts[pi] = append(mxHosts[pi], obs)
+		}
+	}
+
+	// Domains. The modulus mix below keeps provider shares realistic:
+	// ~60% outsourced to the big three, ~15% on security providers,
+	// ~15% self-hosted, plus VPS corner cases, scan blind spots and
+	// domains with no MX at all.
+	for i := 0; i < nDomains; i++ {
+		name := fmt.Sprintf("domain-%06d.com", i)
+		rec := dataset.DomainRecord{Domain: name, Rank: i + 1}
+		switch {
+		case i%20 == 19: // no MX
+			s.AddDomain(rec)
+			continue
+		case i%20 == 18: // VPS on a hosting provider (step 4 correction)
+			p := providers[5+i%2]
+			host := fmt.Sprintf("vps%d.%s", i, p.id)
+			ip := addr()
+			s.AddIP(dataset.IPInfo{
+				Addr: ip, ASN: asn.ASN(p.asn), ASName: "AS-" + p.id,
+				HasCensys: true, Port25Open: true,
+				Scan: &dataset.ScanInfo{
+					Banner: host + " ESMTP", BannerHost: host, EHLOHost: host,
+					STARTTLS: true, CertPresent: true, CertValid: true,
+					CertFingerprint: "fp-" + host, CertNames: []string{host},
+				},
+			})
+			rec.MX = []dataset.MXObs{{Preference: 10, Exchange: "mx." + name, Addrs: []netip.Addr{ip}}}
+		case i%20 == 17: // self-hosted, banner-only (no certificate)
+			host := "mail." + name
+			ip := addr()
+			s.AddIP(dataset.IPInfo{
+				Addr: ip, ASN: asn.ASN(65000), ASName: "AS-SELF",
+				HasCensys: true, Port25Open: true,
+				Scan: &dataset.ScanInfo{Banner: host + " ready", BannerHost: host, EHLOHost: host},
+			})
+			rec.MX = []dataset.MXObs{{Preference: 10, Exchange: host, Addrs: []netip.Addr{ip}}}
+		case i%20 == 16: // MX resolves but the scanner has no data
+			ip := addr()
+			s.AddIP(dataset.IPInfo{Addr: ip, ASN: asn.ASN(65001), ASName: "AS-DARK"})
+			rec.MX = []dataset.MXObs{{Preference: 10, Exchange: "mx." + name, Addrs: []netip.Addr{ip}}}
+		case i%20 >= 13: // self-hosted with own valid certificate
+			host := "smtp." + name
+			ip := addr()
+			s.AddIP(dataset.IPInfo{
+				Addr: ip, ASN: asn.ASN(65002), ASName: "AS-SELFCERT",
+				HasCensys: true, Port25Open: true,
+				Scan: &dataset.ScanInfo{
+					Banner: host + " ESMTP", BannerHost: host, EHLOHost: host,
+					STARTTLS: true, CertPresent: true, CertValid: true,
+					CertFingerprint: "fp-" + host, CertNames: []string{host},
+				},
+			})
+			rec.MX = []dataset.MXObs{{Preference: 10, Exchange: host, Addrs: []netip.Addr{ip}}}
+		case i%20 >= 10: // e-mail security provider, two primaries
+			p := 3 + i%2
+			fleet := mxHosts[p]
+			rec.MX = []dataset.MXObs{
+				{Preference: 10, Exchange: fleet[i%len(fleet)].Exchange, Addrs: fleet[i%len(fleet)].Addrs},
+				{Preference: 10, Exchange: fleet[(i+1)%len(fleet)].Exchange, Addrs: fleet[(i+1)%len(fleet)].Addrs},
+			}
+		default: // outsourced to a big provider
+			p := i % 3
+			fleet := mxHosts[p]
+			mx := fleet[i%len(fleet)]
+			backup := fleet[(i+3)%len(fleet)]
+			rec.MX = []dataset.MXObs{
+				{Preference: 10, Exchange: mx.Exchange, Addrs: mx.Addrs},
+				{Preference: 20, Exchange: backup.Exchange, Addrs: backup.Addrs},
+			}
+		}
+		s.AddDomain(rec)
+	}
+	return s
+}
+
+// ProfileIDs lists the provider IDs a step-4 profile set should cover
+// for snapshots built by this package (the large providers plus the
+// hosting companies whose VPS customers must be corrected).
+func ProfileIDs() []string {
+	return []string{
+		"bigmail-0.com", "bigmail-1.com", "bigmail-2.com",
+		"secure-0.net", "secure-1.net",
+		"hosting-0.com", "hosting-1.com",
+	}
+}
+
+// ProfileASN returns the AS number a profiled provider operates, matching
+// the fleets Snapshot builds.
+func ProfileASN(id string) uint32 {
+	switch id {
+	case "bigmail-0.com":
+		return 64600
+	case "bigmail-1.com":
+		return 64601
+	case "bigmail-2.com":
+		return 64602
+	case "secure-0.net":
+		return 64610
+	case "secure-1.net":
+		return 64611
+	case "hosting-0.com":
+		return 64620
+	case "hosting-1.com":
+		return 64621
+	}
+	return 0
+}

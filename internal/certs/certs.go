@@ -190,23 +190,34 @@ func orgOrDefault(spec LeafSpec) []string {
 	return nil
 }
 
+// genKey derives a P-256 key from the seeded rng by rejection-sampling
+// the scalar directly. ecdsa.GenerateKey is deliberately avoided for the
+// seeded path: Go's crypto/ecdsa consumes a nondeterministic number of
+// bytes from its reader (randutil.MaybeReadByte), which desyncs a shared
+// seeded stream and makes everything generated after the key draw
+// irreproducible. Sampling here consumes rng draws that depend only on
+// the rng's own values, so generation is a pure function of the seed.
+// Simulation-only: not cryptographically secure, which is irrelevant
+// here because no real secrets exist.
 func genKey(rng *mrand.Rand) (*ecdsa.PrivateKey, error) {
 	if rng == nil {
 		return ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
 	}
-	return ecdsa.GenerateKey(elliptic.P256(), deterministicReader{rng})
-}
-
-// deterministicReader adapts a seeded math/rand source to io.Reader for
-// reproducible key generation. Simulation-only: not cryptographically
-// secure, which is irrelevant here because no real secrets exist.
-type deterministicReader struct{ rng *mrand.Rand }
-
-func (r deterministicReader) Read(p []byte) (int, error) {
-	for i := range p {
-		p[i] = byte(r.rng.Uint32())
+	curve := elliptic.P256()
+	params := curve.Params()
+	buf := make([]byte, (params.N.BitLen()+7)/8)
+	for {
+		for i := range buf {
+			buf[i] = byte(rng.Uint32())
+		}
+		d := new(big.Int).SetBytes(buf)
+		if d.Sign() > 0 && d.Cmp(params.N) < 0 {
+			priv := &ecdsa.PrivateKey{D: d}
+			priv.Curve = curve
+			priv.X, priv.Y = curve.ScalarBaseMult(buf)
+			return priv, nil
+		}
 	}
-	return len(p), nil
 }
 
 // TLSCertificate converts the leaf into a tls.Certificate usable in a

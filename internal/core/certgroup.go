@@ -53,15 +53,18 @@ type CertGroups struct {
 // across all certificates in the dataset (ties broken lexicographically
 // for determinism).
 func GroupCertificates(certList []Cert, list *psl.List) *CertGroups {
-	if list == nil {
-		list = psl.Default
-	}
+	return groupCertificates(certList, psl.NewMemo(list))
+}
+
+// groupCertificates is GroupCertificates with a shared registered-domain
+// memo, so repeated certificate names are suffix-walked once per run.
+func groupCertificates(certList []Cert, memo *psl.Memo) *CertGroups {
 	// Step 1.1: count occurrences of each registered domain across every
 	// FQDN on every certificate.
 	regCount := make(map[string]int)
 	for _, c := range certList {
 		for _, name := range c.Names {
-			if reg, ok := list.RegisteredDomain(name); ok {
+			if reg, ok := memo.RegisteredDomain(name); ok {
 				regCount[reg]++
 			}
 		}
@@ -102,7 +105,7 @@ func GroupCertificates(certList []Cert, list *psl.List) *CertGroups {
 		n:    len(groups),
 	}
 	for _, g := range groups {
-		rep := representativeName(g.members, certList, regCount, list)
+		rep := representativeName(g.members, certList, regCount, memo)
 		for _, i := range g.members {
 			cg.repr[certList[i].Fingerprint] = rep
 			cg.size[certList[i].Fingerprint] = len(g.members)
@@ -115,7 +118,7 @@ func GroupCertificates(certList []Cert, list *psl.List) *CertGroups {
 // occurrence count among the group's FQDNs; ties break lexicographically.
 // Groups whose names yield no registered domain fall back to the first
 // normalized FQDN.
-func representativeName(members []int, certList []Cert, regCount map[string]int, list *psl.List) string {
+func representativeName(members []int, certList []Cert, regCount map[string]int, memo *psl.Memo) string {
 	var candidates []string
 	seen := make(map[string]bool)
 	var fallback string
@@ -128,7 +131,7 @@ func representativeName(members []int, certList []Cert, regCount map[string]int,
 			if fallback == "" {
 				fallback = name
 			}
-			if reg, ok := list.RegisteredDomain(name); ok && !seen[reg] {
+			if reg, ok := memo.RegisteredDomain(name); ok && !seen[reg] {
 				seen[reg] = true
 				candidates = append(candidates, reg)
 			}
@@ -152,13 +155,15 @@ func representativeName(members []int, certList []Cert, regCount map[string]int,
 // globally common registered domain among that certificate's names. It
 // quantifies what the FQDN-overlap grouping buys.
 func SingletonGroups(certList []Cert, list *psl.List) *CertGroups {
-	if list == nil {
-		list = psl.Default
-	}
+	return singletonGroups(certList, psl.NewMemo(list))
+}
+
+// singletonGroups is SingletonGroups with a shared registered-domain memo.
+func singletonGroups(certList []Cert, memo *psl.Memo) *CertGroups {
 	regCount := make(map[string]int)
 	for _, c := range certList {
 		for _, name := range c.Names {
-			if reg, ok := list.RegisteredDomain(name); ok {
+			if reg, ok := memo.RegisteredDomain(name); ok {
 				regCount[reg]++
 			}
 		}
@@ -169,7 +174,7 @@ func SingletonGroups(certList []Cert, list *psl.List) *CertGroups {
 		n:    len(certList),
 	}
 	for i := range certList {
-		cg.repr[certList[i].Fingerprint] = representativeName([]int{i}, certList, regCount, list)
+		cg.repr[certList[i].Fingerprint] = representativeName([]int{i}, certList, regCount, memo)
 		cg.size[certList[i].Fingerprint] = 1
 	}
 	return cg

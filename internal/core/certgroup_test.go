@@ -156,7 +156,7 @@ func TestGroupingPartitionProperty(t *testing.T) {
 
 func TestPopularityCounters(t *testing.T) {
 	s := table12Snapshot()
-	numIP, numCert := popularity(s)
+	numIP, numCert := popularity(s, s.Index(), 2)
 	// Two domains (netflix, gsipartners) lead to the shared google cert,
 	// via different IPs.
 	if numCert["fp-google"] != 2 {

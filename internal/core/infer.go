@@ -3,11 +3,12 @@ package core
 import (
 	"fmt"
 	"net/netip"
-	"sort"
 	"strings"
+	"sync"
 
 	"mxmap/internal/asn"
 	"mxmap/internal/dataset"
+	"mxmap/internal/parallel"
 	"mxmap/internal/psl"
 )
 
@@ -105,6 +106,12 @@ type Config struct {
 	// ConfidenceThreshold is the per-assignment popularity below which an
 	// assignment to a profiled provider is examined (default 5 domains).
 	ConfidenceThreshold int
+	// Parallelism bounds the worker pool sharding steps 2, 3 and 5
+	// across cores. Zero or negative selects runtime.GOMAXPROCS(0); 1
+	// forces a fully serial run. Output is byte-for-byte identical at
+	// every setting: workers write into index-addressed slices and maps
+	// are assembled only after each pool drains.
+	Parallelism int
 	// RequireBannerEHLOAgreement, when set, derives a Banner/EHLO ID only
 	// when both messages carry the same registered domain (the strict
 	// reading of Figure 3 step 2.2). The default accepts a valid FQDN
@@ -188,64 +195,72 @@ type Result struct {
 }
 
 // Infer runs the selected approach over a snapshot.
+//
+// The run is sharded across cfg.Parallelism workers but remains fully
+// deterministic: steps 2, 3 and 5 fan out over the snapshot's
+// precomputed index (sorted IP keys, deduplicated exchange inventory,
+// domain positions) with every worker writing only its own
+// index-addressed slot, and the result maps are assembled after the pool
+// drains. Steps 1 and 4 are serial — cert grouping is a union-find over
+// a small cert population and the misidentification pass touches only
+// flagged assignments.
 func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
-	list := cfg.pslOrDefault()
+	memo := psl.NewMemo(cfg.pslOrDefault())
 	if cfg.ConfidenceThreshold == 0 {
 		cfg.ConfidenceThreshold = 5
 	}
+	workers := parallel.Workers(cfg.Parallelism)
+	idx := s.Index()
 
 	// Step 1 — certificate preprocessing (cert-based and priority only).
 	var groups *CertGroups
 	if approach == ApproachCertBased || approach == ApproachPriority {
-		certList := collectCerts(s)
+		certList := collectCerts(s, idx)
 		if cfg.DisableCertGrouping {
-			groups = SingletonGroups(certList, list)
+			groups = singletonGroups(certList, memo)
 		} else {
-			groups = GroupCertificates(certList, list)
+			groups = groupCertificates(certList, memo)
 		}
 	}
 
-	// Step 2 — per-IP identities.
-	ipIDs := computeIPIDs(s, groups, list, cfg)
+	// Step 2 — per-IP identities, sharded over the sorted key list.
+	ipIDs := computeIPIDs(s, idx, groups, memo, cfg, workers)
 
 	// Popularity counters for confidence scores: how many domains' primary
 	// MX sets point at each address and at each certificate.
-	numIP, numCert := popularity(s)
+	numIP, numCert := popularity(s, idx, workers)
 
-	// Step 3 — per-MX provider IDs.
-	res := &Result{Approach: approach, MX: make(map[string]*MXAssignment)}
-	for i := range s.Domains {
-		for _, mx := range s.Domains[i].PrimaryMX() {
-			if _, ok := res.MX[mx.Exchange]; ok {
-				continue
-			}
-			res.MX[mx.Exchange] = assignMX(mx, approach, ipIDs, numIP, numCert, s, list, cfg.PreferBannerOverCert)
-		}
+	// Step 3 — per-MX provider IDs, sharded over the deduplicated
+	// exchange inventory (one assignment per distinct exchange).
+	res := &Result{Approach: approach, MX: make(map[string]*MXAssignment, len(idx.Exchanges))}
+	assigns := make([]*MXAssignment, len(idx.Exchanges))
+	parallel.Run(len(idx.Exchanges), workers, func(i int) {
+		assigns[i] = assignMX(idx.Exchanges[i], approach, ipIDs, numIP, numCert, s, memo, cfg.PreferBannerOverCert)
+	})
+	for _, a := range assigns {
+		res.MX[a.Exchange] = a
 	}
 
 	// Step 4 — misidentification check (priority approach only).
 	if approach == ApproachPriority && len(cfg.Profiles) > 0 {
-		checkMisidentifications(res, s, ipIDs, cfg, list)
+		checkMisidentifications(res, s, idx, ipIDs, cfg, memo)
 	}
 
-	// Step 5 — per-domain attribution.
-	for i := range s.Domains {
-		res.Domains = append(res.Domains, attributeDomain(&s.Domains[i], res.MX, s))
-	}
+	// Step 5 — per-domain attribution, sharded over domain positions.
+	// res.MX is read-only from here on, so concurrent map reads are safe.
+	res.Domains = make([]DomainAttribution, len(s.Domains))
+	parallel.Run(len(s.Domains), workers, func(i int) {
+		res.Domains[i] = attributeDomain(&s.Domains[i], idx.PrimaryMX[i], res.MX, s)
+	})
 	return res
 }
 
-// collectCerts gathers every captured certificate in the snapshot.
-func collectCerts(s *dataset.Snapshot) []Cert {
+// collectCerts gathers every captured certificate in the snapshot,
+// walking the index's presorted key list for deterministic order.
+func collectCerts(s *dataset.Snapshot, idx *dataset.Index) []Cert {
 	seen := make(map[string]bool)
 	var out []Cert
-	// Deterministic iteration: sort IP keys.
-	keys := make([]string, 0, len(s.IPs))
-	for k := range s.IPs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
+	for _, k := range idx.SortedIPKeys {
 		info := s.IPs[k]
 		sc := info.Scan
 		if sc == nil || !sc.CertPresent || sc.CertFingerprint == "" || seen[sc.CertFingerprint] {
@@ -268,16 +283,19 @@ type ipIdentity struct {
 	scanned  bool   // port 25 produced a session
 }
 
-func computeIPIDs(s *dataset.Snapshot, groups *CertGroups, list *psl.List, cfg Config) map[string]ipIdentity {
-	out := make(map[string]ipIdentity, len(s.IPs))
-	for key, info := range s.IPs {
-		var id ipIdentity
+// computeIPIDs derives step 2 identities for every scanned address.
+// Workers fill an index-addressed slice over the sorted key list; the
+// map is assembled after the barrier so the outcome is independent of
+// scheduling.
+func computeIPIDs(s *dataset.Snapshot, idx *dataset.Index, groups *CertGroups, memo *psl.Memo, cfg Config, workers int) map[string]ipIdentity {
+	ids := make([]ipIdentity, len(idx.SortedIPKeys))
+	parallel.Run(len(idx.SortedIPKeys), workers, func(i int) {
+		info := s.IPs[idx.SortedIPKeys[i]]
 		sc := info.Scan
 		if sc == nil {
-			out[key] = id
-			continue
+			return
 		}
-		id.scanned = true
+		id := ipIdentity{scanned: true}
 		// 2.1 — ID from certificate: only valid certificates count.
 		if groups != nil && sc.CertPresent && sc.CertValid {
 			if rep, ok := groups.Representative(sc.CertFingerprint); ok {
@@ -285,17 +303,21 @@ func computeIPIDs(s *dataset.Snapshot, groups *CertGroups, list *psl.List, cfg C
 			}
 		}
 		// 2.2 — ID from Banner/EHLO.
-		id.bannerID = bannerIdentity(sc, list, cfg.RequireBannerEHLOAgreement)
-		out[key] = id
+		id.bannerID = bannerIdentity(sc, memo, cfg.RequireBannerEHLOAgreement)
+		ids[i] = id
+	})
+	out := make(map[string]ipIdentity, len(idx.SortedIPKeys))
+	for i, k := range idx.SortedIPKeys {
+		out[k] = ids[i]
 	}
 	return out
 }
 
 // bannerIdentity derives the registered-domain identity from the banner
 // and EHLO hosts.
-func bannerIdentity(sc *dataset.ScanInfo, list *psl.List, strict bool) string {
-	bannerReg := regOf(sc.BannerHost, list)
-	ehloReg := regOf(sc.EHLOHost, list)
+func bannerIdentity(sc *dataset.ScanInfo, memo *psl.Memo, strict bool) string {
+	bannerReg := regOf(sc.BannerHost, memo)
+	ehloReg := regOf(sc.EHLOHost, memo)
 	switch {
 	case bannerReg != "" && ehloReg != "":
 		if bannerReg == ehloReg {
@@ -313,12 +335,12 @@ func bannerIdentity(sc *dataset.ScanInfo, list *psl.List, strict bool) string {
 
 // regOf extracts the registered domain of a host string when it is a
 // plausible FQDN.
-func regOf(host string, list *psl.List) string {
+func regOf(host string, memo *psl.Memo) string {
 	host = normalizeHost(host)
 	if !dataset.ValidFQDN(host) {
 		return ""
 	}
-	reg, ok := list.RegisteredDomain(host)
+	reg, ok := memo.RegisteredDomain(host)
 	if !ok {
 		return ""
 	}
@@ -331,35 +353,65 @@ func normalizeHost(h string) string {
 }
 
 // popularity counts, per address and per certificate, how many domains'
-// primary MX sets lead there.
-func popularity(s *dataset.Snapshot) (numIP, numCert map[string]int) {
-	numIP = make(map[string]int)
-	numCert = make(map[string]int)
-	for i := range s.Domains {
-		seenIP := make(map[string]bool)
-		seenCert := make(map[string]bool)
-		for _, mx := range s.Domains[i].PrimaryMX() {
-			for _, a := range mx.Addrs {
-				key := a.String()
-				if seenIP[key] {
-					continue
-				}
-				seenIP[key] = true
-				numIP[key]++
-				if info, ok := s.IPs[key]; ok && info.Scan != nil && info.Scan.CertFingerprint != "" {
-					if fp := info.Scan.CertFingerprint; !seenCert[fp] {
-						seenCert[fp] = true
-						numCert[fp]++
+// primary MX sets lead there. Workers accumulate into private counter
+// maps over disjoint domain ranges; the merge after the barrier sums
+// per-key, so the totals are order-independent.
+func popularity(s *dataset.Snapshot, idx *dataset.Index, workers int) (numIP, numCert map[string]int) {
+	type counters struct {
+		ip, cert map[string]int
+	}
+	parts := make([]counters, 0, workers)
+	var mu sync.Mutex
+	parallel.RunChunks(len(s.Domains), workers, func(lo, hi int) {
+		c := counters{ip: make(map[string]int), cert: make(map[string]int)}
+		var seenIP, seenCert []string // tiny per-domain sets: linear scan beats a map
+		for i := lo; i < hi; i++ {
+			seenIP, seenCert = seenIP[:0], seenCert[:0]
+			for _, mx := range idx.PrimaryMX[i] {
+				for _, a := range mx.Addrs {
+					key := a.String()
+					if containsStr(seenIP, key) {
+						continue
+					}
+					seenIP = append(seenIP, key)
+					c.ip[key]++
+					if info, ok := s.IPs[key]; ok && info.Scan != nil && info.Scan.CertFingerprint != "" {
+						if fp := info.Scan.CertFingerprint; !containsStr(seenCert, fp) {
+							seenCert = append(seenCert, fp)
+							c.cert[fp]++
+						}
 					}
 				}
 			}
+		}
+		mu.Lock()
+		parts = append(parts, c)
+		mu.Unlock()
+	})
+	numIP = make(map[string]int)
+	numCert = make(map[string]int)
+	for _, c := range parts {
+		for k, v := range c.ip {
+			numIP[k] += v
+		}
+		for k, v := range c.cert {
+			numCert[k] += v
 		}
 	}
 	return numIP, numCert
 }
 
+func containsStr(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
 // assignMX performs step 3 for one MX record under the chosen approach.
-func assignMX(mx dataset.MXObs, approach Approach, ipIDs map[string]ipIdentity, numIP, numCert map[string]int, s *dataset.Snapshot, list *psl.List, bannerFirst bool) *MXAssignment {
+func assignMX(mx dataset.MXObs, approach Approach, ipIDs map[string]ipIdentity, numIP, numCert map[string]int, s *dataset.Snapshot, memo *psl.Memo, bannerFirst bool) *MXAssignment {
 	a := &MXAssignment{Exchange: mx.Exchange}
 
 	// Confidence: the busiest signal backing this MX.
@@ -405,7 +457,7 @@ func assignMX(mx dataset.MXObs, approach Approach, ipIDs map[string]ipIdentity, 
 	} else if tryCert() || tryBanner() {
 		return a
 	}
-	a.ProviderID, a.Source = mxFallbackID(mx.Exchange, list), SourceMX
+	a.ProviderID, a.Source = mxFallbackID(mx.Exchange, memo), SourceMX
 	return a
 }
 
@@ -432,18 +484,18 @@ func consensus(addrs []netip.Addr, ipIDs map[string]ipIdentity, pick func(ipIden
 
 // mxFallbackID is the registered domain of the MX name, or the
 // (normalized) name itself when no registered domain can be derived.
-func mxFallbackID(exchange string, list *psl.List) string {
+func mxFallbackID(exchange string, memo *psl.Memo) string {
 	h := normalizeHost(exchange)
-	if reg, ok := list.RegisteredDomain(h); ok {
+	if reg, ok := memo.RegisteredDomain(h); ok {
 		return reg
 	}
 	return h
 }
 
-// attributeDomain performs step 5 for one domain.
-func attributeDomain(d *dataset.DomainRecord, mxAssign map[string]*MXAssignment, s *dataset.Snapshot) DomainAttribution {
+// attributeDomain performs step 5 for one domain, using the index's
+// cached primary MX set.
+func attributeDomain(d *dataset.DomainRecord, primary []dataset.MXObs, mxAssign map[string]*MXAssignment, s *dataset.Snapshot) DomainAttribution {
 	out := DomainAttribution{Domain: d.Domain, Rank: d.Rank, Credits: make(map[string]float64)}
-	primary := d.PrimaryMX()
 	if len(primary) == 0 {
 		return out
 	}

@@ -31,7 +31,7 @@ import (
 //     an address inside a *different* profiled provider's AS whose
 //     Banner/EHLO agrees with that provider (the utexas.edu/Ironport
 //     case) — correct to the hosting provider's ID.
-func checkMisidentifications(res *Result, s *dataset.Snapshot, ipIDs map[string]ipIdentity, cfg Config, list *psl.List) {
+func checkMisidentifications(res *Result, s *dataset.Snapshot, idx *dataset.Index, ipIDs map[string]ipIdentity, cfg Config, memo *psl.Memo) {
 	profiles := make(map[string]*ProviderProfile, len(cfg.Profiles))
 	asnOwner := make(map[asn.ASN]string)
 	for i := range cfg.Profiles {
@@ -42,17 +42,12 @@ func checkMisidentifications(res *Result, s *dataset.Snapshot, ipIDs map[string]
 		}
 	}
 
-	// Exchange -> sample MX observation, for address access.
-	mxObs := make(map[string]dataset.MXObs)
-	for i := range s.Domains {
-		for _, mx := range s.Domains[i].PrimaryMX() {
-			if _, ok := mxObs[mx.Exchange]; !ok {
-				mxObs[mx.Exchange] = mx
-			}
-		}
-	}
-
-	for _, a := range res.MX {
+	// Walk the index's exchange inventory (first-appearance order) rather
+	// than the assignment map, so examinations happen in a deterministic
+	// order and the per-exchange sample observation needs no rescan of
+	// the domain list.
+	for _, mx := range idx.Exchanges {
+		a := res.MX[mx.Exchange]
 		prof, isProfiled := profiles[a.ProviderID]
 		if !isProfiled || a.Source == SourceMX {
 			continue
@@ -62,22 +57,21 @@ func checkMisidentifications(res *Result, s *dataset.Snapshot, ipIDs map[string]
 		}
 		a.Examined = true
 		res.NumExamined++
-		mx := mxObs[a.Exchange]
 
 		switch a.Source {
 		case SourceBanner:
 			if !anyAddrInASNs(s, mx.Addrs, prof.ASNs) {
-				correct(res, a, mxFallbackID(a.Exchange, list), "banner claims "+prof.ID+" outside its AS")
+				correct(res, a, mxFallbackID(a.Exchange, memo), "banner claims "+prof.ID+" outside its AS")
 				continue
 			}
 			if host, ok := matchingHost(s, mx.Addrs, prof.VPSPatterns); ok {
-				correct(res, a, mxFallbackID(a.Exchange, list), "VPS naming pattern "+host)
+				correct(res, a, mxFallbackID(a.Exchange, memo), "VPS naming pattern "+host)
 				continue
 			}
 			a.Reason = "verified: banner claim inside provider AS"
 		case SourceCert:
 			if host, ok := matchingHost(s, mx.Addrs, prof.VPSPatterns); ok {
-				correct(res, a, mxFallbackID(a.Exchange, list), "VPS naming pattern "+host)
+				correct(res, a, mxFallbackID(a.Exchange, memo), "VPS naming pattern "+host)
 				continue
 			}
 			if host, ok := matchingHost(s, mx.Addrs, prof.DedicatedPatterns); ok {

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mxmap/internal/asn"
+	"mxmap/internal/benchdata"
+	"mxmap/internal/dataset"
+)
+
+// benchdataProfiles builds step-4 profiles matching benchdata snapshots.
+func benchdataProfiles() []ProviderProfile {
+	var out []ProviderProfile
+	for _, id := range benchdata.ProfileIDs() {
+		out = append(out, ProviderProfile{
+			ID:   id,
+			ASNs: []asn.ASN{asn.ASN(benchdata.ProfileASN(id))},
+			VPSPatterns: []string{
+				"vps*." + id, "s*-*-*." + id,
+			},
+			DedicatedPatterns: []string{
+				"mx*." + id, "mailstore*." + id,
+			},
+		})
+	}
+	return out
+}
+
+// equalResults compares two inference runs field by field, reporting the
+// first divergence found.
+func equalResults(t *testing.T, serial, par *Result) {
+	t.Helper()
+	if serial.Approach != par.Approach {
+		t.Fatalf("approach: %v vs %v", serial.Approach, par.Approach)
+	}
+	if serial.NumExamined != par.NumExamined || serial.NumCorrected != par.NumCorrected {
+		t.Errorf("step-4 counters: examined %d/%d corrected %d/%d",
+			serial.NumExamined, par.NumExamined, serial.NumCorrected, par.NumCorrected)
+	}
+	if len(serial.MX) != len(par.MX) {
+		t.Fatalf("MX count: %d vs %d", len(serial.MX), len(par.MX))
+	}
+	for ex, sa := range serial.MX {
+		pa, ok := par.MX[ex]
+		if !ok {
+			t.Fatalf("parallel run missing exchange %q", ex)
+		}
+		if !reflect.DeepEqual(*sa, *pa) {
+			t.Fatalf("assignment for %q diverged:\nserial:   %+v\nparallel: %+v", ex, *sa, *pa)
+		}
+	}
+	if len(serial.Domains) != len(par.Domains) {
+		t.Fatalf("domain count: %d vs %d", len(serial.Domains), len(par.Domains))
+	}
+	for i := range serial.Domains {
+		if !reflect.DeepEqual(serial.Domains[i], par.Domains[i]) {
+			t.Fatalf("attribution %d (%s) diverged:\nserial:   %+v\nparallel: %+v",
+				i, serial.Domains[i].Domain, serial.Domains[i], par.Domains[i])
+		}
+	}
+}
+
+// TestParallelInferEquivalence asserts that a parallel run produces
+// byte-for-byte the same output as a serial run, for every approach, on
+// each test snapshot — the determinism guarantee behind
+// Config.Parallelism.
+func TestParallelInferEquivalence(t *testing.T) {
+	snapshots := map[string]struct {
+		snap     *dataset.Snapshot
+		profiles []ProviderProfile
+	}{
+		"table3":    {table3Snapshot(), providerProfiles()},
+		"table12":   {table12Snapshot(), nil},
+		"benchdata": {benchdata.Snapshot(600), benchdataProfiles()},
+	}
+	for name, tc := range snapshots {
+		for _, approach := range Approaches() {
+			base := Config{Profiles: tc.profiles, ConfidenceThreshold: 2}
+			serialCfg, parCfg := base, base
+			serialCfg.Parallelism = 1
+			parCfg.Parallelism = 8
+			serial := Infer(tc.snap, approach, serialCfg)
+			for run := 0; run < 3; run++ { // repeated runs shake out scheduling races
+				par := Infer(tc.snap, approach, parCfg)
+				t.Run(name+"/"+approach.String(), func(t *testing.T) {
+					equalResults(t, serial, par)
+				})
+			}
+		}
+	}
+}
+
+// TestParallelInferExercisesStep4 guards the equivalence test's power:
+// the benchdata snapshot must actually trigger examinations and
+// corrections, otherwise step 4 equivalence is vacuous.
+func TestParallelInferExercisesStep4(t *testing.T) {
+	snap := benchdata.Snapshot(600)
+	res := Infer(snap, ApproachPriority, Config{Profiles: benchdataProfiles(), ConfidenceThreshold: 2, Parallelism: 4})
+	if res.NumExamined == 0 {
+		t.Error("benchdata snapshot triggered no step-4 examinations")
+	}
+	if res.NumCorrected == 0 {
+		t.Error("benchdata snapshot triggered no step-4 corrections")
+	}
+}
+
+// TestParallelismDefault asserts that the zero Config still works (the
+// knob defaults to GOMAXPROCS) and matches an explicit serial run.
+func TestParallelismDefault(t *testing.T) {
+	snap := benchdata.Snapshot(200)
+	def := Infer(snap, ApproachPriority, Config{})
+	serial := Infer(snap, ApproachPriority, Config{Parallelism: 1})
+	equalResults(t, serial, def)
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"mxmap/internal/asn"
 )
@@ -113,6 +114,11 @@ type Snapshot struct {
 	Domains []DomainRecord `json:"-"`
 	// IPs indexes scan observations by address string.
 	IPs map[string]IPInfo `json:"-"`
+
+	// idx is the lazily built derived index (see Index); guarded by idxMu
+	// because concurrent inference runs may share one snapshot.
+	idxMu sync.Mutex
+	idx   *Index
 }
 
 // NewSnapshot creates an empty snapshot.
@@ -127,14 +133,21 @@ func (s *Snapshot) IP(addr netip.Addr) (IPInfo, bool) {
 }
 
 // AddDomain appends a domain record.
-func (s *Snapshot) AddDomain(d DomainRecord) { s.Domains = append(s.Domains, d) }
+func (s *Snapshot) AddDomain(d DomainRecord) {
+	s.Domains = append(s.Domains, d)
+	s.invalidateIndex()
+}
 
 // AddIP records an IP observation, replacing any previous one.
-func (s *Snapshot) AddIP(info IPInfo) { s.IPs[info.Addr.String()] = info }
+func (s *Snapshot) AddIP(info IPInfo) {
+	s.IPs[info.Addr.String()] = info
+	s.invalidateIndex()
+}
 
 // SortDomains orders domains lexicographically for deterministic output.
 func (s *Snapshot) SortDomains() {
 	sort.Slice(s.Domains, func(i, j int) bool { return s.Domains[i].Domain < s.Domains[j].Domain })
+	s.invalidateIndex()
 }
 
 // jsonLine is the tagged union used for JSONL persistence.

@@ -1,0 +1,74 @@
+package dataset
+
+import "sort"
+
+// Index is a precomputed, read-only view of a Snapshot that the inference
+// engine's hot path would otherwise re-derive on every call: the sorted
+// IP key list (deterministic iteration), each domain's primary MX set,
+// and the deduplicated primary-exchange inventory with the domains behind
+// each exchange.
+//
+// Build it (lazily) with Snapshot.Index. An Index is immutable once
+// built; mutating the snapshot through AddDomain/AddIP/SortDomains
+// discards the cached index so the next Index call rebuilds it.
+type Index struct {
+	// SortedIPKeys holds every key of Snapshot.IPs in ascending order.
+	SortedIPKeys []string
+	// PrimaryMX caches Domains[i].PrimaryMX() by domain position.
+	PrimaryMX [][]MXObs
+	// Exchanges lists each distinct primary-MX exchange once, in
+	// first-appearance order over domains (deterministic given input
+	// order). The observation kept is the first one seen, matching the
+	// first-wins semantics of the per-exchange assignment pass.
+	Exchanges []MXObs
+	// ExchangeIndex maps an exchange name to its position in Exchanges.
+	ExchangeIndex map[string]int
+	// ExchangeDomains maps an exchange position to the positions of the
+	// domains whose primary MX set includes it.
+	ExchangeDomains [][]int
+}
+
+// Index returns the snapshot's derived index, building it on first use.
+// It is safe for concurrent use; callers must not mutate the returned
+// value. Mutating the snapshot invalidates the cached index.
+func (s *Snapshot) Index() *Index {
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.idx == nil {
+		s.idx = buildIndex(s)
+	}
+	return s.idx
+}
+
+func (s *Snapshot) invalidateIndex() {
+	s.idxMu.Lock()
+	s.idx = nil
+	s.idxMu.Unlock()
+}
+
+func buildIndex(s *Snapshot) *Index {
+	idx := &Index{
+		SortedIPKeys:  make([]string, 0, len(s.IPs)),
+		PrimaryMX:     make([][]MXObs, len(s.Domains)),
+		ExchangeIndex: make(map[string]int),
+	}
+	for k := range s.IPs {
+		idx.SortedIPKeys = append(idx.SortedIPKeys, k)
+	}
+	sort.Strings(idx.SortedIPKeys)
+	for i := range s.Domains {
+		primary := s.Domains[i].PrimaryMX()
+		idx.PrimaryMX[i] = primary
+		for _, mx := range primary {
+			j, ok := idx.ExchangeIndex[mx.Exchange]
+			if !ok {
+				j = len(idx.Exchanges)
+				idx.ExchangeIndex[mx.Exchange] = j
+				idx.Exchanges = append(idx.Exchanges, mx)
+				idx.ExchangeDomains = append(idx.ExchangeDomains, nil)
+			}
+			idx.ExchangeDomains[j] = append(idx.ExchangeDomains[j], i)
+		}
+	}
+	return idx
+}

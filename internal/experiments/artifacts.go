@@ -8,6 +8,7 @@ import (
 	"mxmap/internal/companies"
 	"mxmap/internal/core"
 	"mxmap/internal/dataset"
+	"mxmap/internal/parallel"
 	"mxmap/internal/report"
 	"mxmap/internal/world"
 )
@@ -223,7 +224,15 @@ var fig6Panels = []struct {
 // Fig6 reproduces all nine panels of Figure 6: longitudinal market-share
 // series per corpus for top companies, e-mail security services, and web
 // hosting companies.
+//
+// The panels cover 25 distinct corpus-snapshots; those are measured and
+// inferred concurrently (bounded by Study.Parallelism) before the serial
+// assembly pass reads them from cache, so wall-clock cost is dominated by
+// the slowest single snapshot rather than the sum of all of them.
 func (s *Study) Fig6(ctx context.Context) ([]*report.Chart, error) {
+	if err := s.prefetchResults(ctx, s.fig6Keys()); err != nil {
+		return nil, err
+	}
 	var charts []*report.Chart
 	for _, panel := range fig6Panels {
 		dates := s.World.Corpus(panel.corpus).Dates
@@ -252,6 +261,44 @@ func (s *Study) Fig6(ctx context.Context) ([]*report.Chart, error) {
 		charts = append(charts, chart)
 	}
 	return charts, nil
+}
+
+// corpusDate is one (corpus, date) snapshot key.
+type corpusDate struct {
+	corpus, date string
+}
+
+// fig6Keys lists the distinct corpus-snapshots Figure 6 needs, in
+// deterministic panel order.
+func (s *Study) fig6Keys() []corpusDate {
+	seen := make(map[corpusDate]bool)
+	var keys []corpusDate
+	for _, panel := range fig6Panels {
+		for _, date := range s.World.Corpus(panel.corpus).Dates {
+			k := corpusDate{panel.corpus, date}
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}
+
+// prefetchResults measures and infers the given corpus-snapshots
+// concurrently, failing fast on the first error. Afterwards every key is
+// resident in the Study caches.
+func (s *Study) prefetchResults(ctx context.Context, keys []corpusDate) error {
+	errs := make([]error, len(keys))
+	parallel.Run(len(keys), parallel.Workers(s.Parallelism), func(i int) {
+		_, errs[i] = s.Result(ctx, keys[i].corpus, keys[i].date)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func percents(points []analysis.SeriesPoint) []float64 {

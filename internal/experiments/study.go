@@ -23,12 +23,32 @@ type Study struct {
 	World *world.World
 	// Profiles are the step-4 provider profiles derived from the roster.
 	Profiles []core.ProviderProfile
+	// Parallelism bounds both the inference worker pool (core.Config's
+	// knob) and the concurrent corpus-snapshot collection in Fig6. Zero
+	// selects runtime.GOMAXPROCS(0).
+	Parallelism int
 
 	session *scan.WorldSession
 
 	mu        sync.Mutex
-	snapshots map[string]*dataset.Snapshot
-	results   map[string]*core.Result
+	snapshots map[string]*snapFlight
+	results   map[string]*resultFlight
+}
+
+// snapFlight is one singleflight snapshot collection: the first caller
+// for a (corpus, date) key measures, concurrent callers wait on the same
+// flight instead of re-measuring.
+type snapFlight struct {
+	once sync.Once
+	snap *dataset.Snapshot
+	err  error
+}
+
+// resultFlight is the inference counterpart of snapFlight.
+type resultFlight struct {
+	once sync.Once
+	res  *core.Result
+	err  error
 }
 
 // NewStudy generates a world and brings up its substrate.
@@ -45,8 +65,8 @@ func NewStudy(cfg world.Config) (*Study, error) {
 		World:     w,
 		Profiles:  WorldProfiles(w),
 		session:   sess,
-		snapshots: make(map[string]*dataset.Snapshot),
-		results:   make(map[string]*core.Result),
+		snapshots: make(map[string]*snapFlight),
+		results:   make(map[string]*resultFlight),
 	}, nil
 }
 
@@ -54,44 +74,46 @@ func NewStudy(cfg world.Config) (*Study, error) {
 func (s *Study) Close() error { return s.session.Close() }
 
 // Snapshot measures (or returns the cached measurement of) one corpus at
-// one date.
+// one date. Concurrent calls for the same key share one measurement.
 func (s *Study) Snapshot(ctx context.Context, corpus, date string) (*dataset.Snapshot, error) {
 	key := corpus + "@" + date
 	s.mu.Lock()
-	snap, ok := s.snapshots[key]
-	s.mu.Unlock()
-	if ok {
-		return snap, nil
+	f := s.snapshots[key]
+	if f == nil {
+		f = &snapFlight{}
+		s.snapshots[key] = f
 	}
-	snap, err := s.session.Snapshot(ctx, corpus, date)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.snapshots[key] = snap
 	s.mu.Unlock()
-	return snap, nil
+	f.once.Do(func() {
+		f.snap, f.err = s.session.Snapshot(ctx, corpus, date)
+	})
+	return f.snap, f.err
 }
 
 // Result runs (or returns the cached run of) the priority-based
-// methodology on one snapshot.
+// methodology on one snapshot. Concurrent calls for the same key share
+// one inference run.
 func (s *Study) Result(ctx context.Context, corpus, date string) (*core.Result, error) {
 	key := corpus + "@" + date
 	s.mu.Lock()
-	res, ok := s.results[key]
-	s.mu.Unlock()
-	if ok {
-		return res, nil
+	f := s.results[key]
+	if f == nil {
+		f = &resultFlight{}
+		s.results[key] = f
 	}
-	snap, err := s.Snapshot(ctx, corpus, date)
-	if err != nil {
-		return nil, err
-	}
-	res = core.Infer(snap, core.ApproachPriority, core.Config{Profiles: s.Profiles})
-	s.mu.Lock()
-	s.results[key] = res
 	s.mu.Unlock()
-	return res, nil
+	f.once.Do(func() {
+		snap, err := s.Snapshot(ctx, corpus, date)
+		if err != nil {
+			f.err = err
+			return
+		}
+		f.res = core.Infer(snap, core.ApproachPriority, core.Config{
+			Profiles:    s.Profiles,
+			Parallelism: s.Parallelism,
+		})
+	})
+	return f.res, f.err
 }
 
 // LastDate returns a corpus's most recent snapshot label.

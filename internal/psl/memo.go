@@ -1,0 +1,87 @@
+package psl
+
+import "sync"
+
+// memoShards is the number of independently locked cache shards. Sharding
+// keeps contention negligible when many goroutines resolve hosts
+// concurrently; 64 shards comfortably cover the pool sizes the inference
+// engine uses.
+const memoShards = 64
+
+// Memo wraps a List with a concurrency-safe memoization cache for
+// RegisteredDomain. The paper's inference hot path extracts the
+// registered domain of the same hosts over and over — every certificate
+// name, Banner/EHLO identity and MX exchange recurs across domains — so
+// caching turns the per-host suffix walk into a single lookup per
+// distinct host per run.
+//
+// A Memo is safe for concurrent use. Entries are never evicted: the
+// working set is bounded by the number of distinct hosts in a snapshot.
+type Memo struct {
+	list   *List
+	shards [memoShards]memoShard
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[string]memoEntry
+}
+
+type memoEntry struct {
+	reg string
+	ok  bool
+}
+
+// NewMemo creates a memoizing view of list (Default when nil).
+func NewMemo(list *List) *Memo {
+	if list == nil {
+		list = Default
+	}
+	return &Memo{list: list}
+}
+
+// List returns the underlying suffix list.
+func (m *Memo) List() *List { return m.list }
+
+// RegisteredDomain is List.RegisteredDomain with memoization. Results are
+// keyed on the input string verbatim; since the underlying computation is
+// pure, cached and fresh answers are always identical.
+func (m *Memo) RegisteredDomain(host string) (string, bool) {
+	sh := &m.shards[shardOf(host)]
+	sh.mu.RLock()
+	e, hit := sh.m[host]
+	sh.mu.RUnlock()
+	if hit {
+		return e.reg, e.ok
+	}
+	reg, ok := m.list.RegisteredDomain(host)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]memoEntry)
+	}
+	sh.m[host] = memoEntry{reg: reg, ok: ok}
+	sh.mu.Unlock()
+	return reg, ok
+}
+
+// Size reports the number of distinct hosts cached so far.
+func (m *Memo) Size() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// shardOf hashes a host onto a shard (FNV-1a).
+func shardOf(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h % memoShards
+}

@@ -1,0 +1,70 @@
+package psl
+
+import (
+	"sync"
+	"testing"
+)
+
+var memoHosts = []string{
+	"mx1.provider.com",
+	"aspmx.l.google.com",
+	"mail.example.co.uk",
+	"com",               // public suffix itself: no registered domain
+	"",                  // empty
+	"MX1.Provider.COM.", // needs normalization
+	"host.city.kawasaki.jp",
+	"host.example.kawasaki.jp",
+	"weird..name",
+}
+
+func TestMemoMatchesList(t *testing.T) {
+	m := NewMemo(Default)
+	for pass := 0; pass < 2; pass++ { // second pass hits the cache
+		for _, h := range memoHosts {
+			wantReg, wantOK := Default.RegisteredDomain(h)
+			gotReg, gotOK := m.RegisteredDomain(h)
+			if gotReg != wantReg || gotOK != wantOK {
+				t.Errorf("pass %d: Memo.RegisteredDomain(%q) = (%q, %v), want (%q, %v)",
+					pass, h, gotReg, gotOK, wantReg, wantOK)
+			}
+		}
+	}
+	if m.Size() == 0 {
+		t.Error("Size = 0 after lookups")
+	}
+}
+
+func TestMemoNilListDefaults(t *testing.T) {
+	m := NewMemo(nil)
+	if m.List() != Default {
+		t.Error("nil list should default to psl.Default")
+	}
+	reg, ok := m.RegisteredDomain("mail.example.com")
+	if !ok || reg != "example.com" {
+		t.Errorf("RegisteredDomain = (%q, %v)", reg, ok)
+	}
+}
+
+func TestMemoConcurrent(t *testing.T) {
+	m := NewMemo(Default)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := memoHosts[i%len(memoHosts)]
+				wantReg, wantOK := Default.RegisteredDomain(h)
+				gotReg, gotOK := m.RegisteredDomain(h)
+				if gotReg != wantReg || gotOK != wantOK {
+					t.Errorf("concurrent lookup of %q diverged", h)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := m.Size(), len(memoHosts); got != want {
+		t.Errorf("Size = %d, want %d distinct hosts", got, want)
+	}
+}

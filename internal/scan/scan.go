@@ -16,6 +16,7 @@ import (
 	"mxmap/internal/certs"
 	"mxmap/internal/dataset"
 	"mxmap/internal/dns"
+	"mxmap/internal/parallel"
 	"mxmap/internal/smtp"
 )
 
@@ -59,34 +60,42 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 	snap := dataset.NewSnapshot(date, corpus)
 
 	// Phase 1: DNS. Resolve every domain's MX set and every distinct
-	// exchange's A set.
+	// exchange's A set. Address lookups are deduplicated with
+	// singleflight semantics: the first caller for a host resolves it,
+	// concurrent callers block on that flight's result instead of
+	// issuing duplicate queries for popular exchanges.
 	records := make([]dataset.DomainRecord, len(domains))
+	type aFlight struct {
+		once  sync.Once
+		addrs []netip.Addr
+	}
 	var (
 		aCacheMu sync.Mutex
-		aCache   = make(map[string][]netip.Addr)
+		aCache   = make(map[string]*aFlight)
 	)
 	resolveA := func(host string) []netip.Addr {
 		aCacheMu.Lock()
-		addrs, ok := aCache[host]
+		f, ok := aCache[host]
+		if !ok {
+			f = &aFlight{}
+			aCache[host] = f
+		}
 		aCacheMu.Unlock()
-		if ok {
-			return addrs
-		}
-		addrs, err := c.Resolver.LookupA(ctx, host)
-		if err != nil {
-			addrs = nil
-		}
-		// The IPv6 extension: collect AAAA records alongside A.
-		if v6, err := c.Resolver.LookupAAAA(ctx, host); err == nil {
-			addrs = append(addrs, v6...)
-		}
-		aCacheMu.Lock()
-		aCache[host] = addrs
-		aCacheMu.Unlock()
-		return addrs
+		f.once.Do(func() {
+			addrs, err := c.Resolver.LookupA(ctx, host)
+			if err != nil {
+				addrs = nil
+			}
+			// The IPv6 extension: collect AAAA records alongside A.
+			if v6, err := c.Resolver.LookupAAAA(ctx, host); err == nil {
+				addrs = append(addrs, v6...)
+			}
+			f.addrs = addrs
+		})
+		return f.addrs
 	}
 	txtResolver, hasTXT := c.Resolver.(dns.TXTResolver)
-	runParallel(len(domains), workers, func(i int) {
+	parallel.Run(len(domains), workers, func(i int) {
 		rec := dataset.DomainRecord{Domain: domains[i].Name, Rank: domains[i].Rank}
 		mxs, err := c.Resolver.LookupMX(ctx, domains[i].Name)
 		if err == nil {
@@ -130,7 +139,7 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
 
 	infos := make([]dataset.IPInfo, len(addrs))
-	runParallel(len(addrs), workers, func(i int) {
+	parallel.Run(len(addrs), workers, func(i int) {
 		infos[i] = c.scanIP(ctx, addrs[i])
 	})
 	for _, info := range infos {
@@ -179,31 +188,4 @@ func (c *Collector) scanIP(ctx context.Context, addr netip.Addr) dataset.IPInfo 
 	}
 	info.Scan = si
 	return info
-}
-
-// runParallel executes fn(i) for i in [0,n) on up to `workers`
-// goroutines.
-func runParallel(n, workers int, fn func(int)) {
-	if n == 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

@@ -1,0 +1,84 @@
+package scan
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mxmap/internal/dns"
+)
+
+// countingResolver serves a fixed MX answer pointing every domain at one
+// popular exchange, and counts address lookups per host — the situation
+// where the old read-then-resolve cache let concurrent workers issue
+// duplicate queries.
+type countingResolver struct {
+	mu     sync.Mutex
+	aCalls map[string]*atomic.Int32
+}
+
+func newCountingResolver() *countingResolver {
+	return &countingResolver{aCalls: map[string]*atomic.Int32{}}
+}
+
+func (r *countingResolver) counter(host string) *atomic.Int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.aCalls[host]
+	if c == nil {
+		c = &atomic.Int32{}
+		r.aCalls[host] = c
+	}
+	return c
+}
+
+func (r *countingResolver) LookupMX(ctx context.Context, domain string) ([]dns.MXData, error) {
+	return []dns.MXData{{Preference: 10, Exchange: "mx.popular.test"}}, nil
+}
+
+func (r *countingResolver) LookupA(ctx context.Context, host string) ([]netip.Addr, error) {
+	r.counter(host).Add(1)
+	return nil, nil // no addresses: phase 2 has nothing to scan
+}
+
+func (r *countingResolver) LookupAAAA(ctx context.Context, host string) ([]netip.Addr, error) {
+	return nil, nil
+}
+
+// TestResolveASingleflight asserts that N concurrent workers measuring
+// domains that share one popular MX host trigger exactly one address
+// resolution for it.
+func TestResolveASingleflight(t *testing.T) {
+	r := newCountingResolver()
+	col := &Collector{Resolver: r, Concurrency: 16}
+	targets := make([]Target, 200)
+	for i := range targets {
+		targets[i] = Target{Name: "shared-mx-" + itoa(i) + ".test"}
+	}
+	snap, err := col.Collect(context.Background(), "test", "2021-06", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Domains) != len(targets) {
+		t.Fatalf("domains = %d", len(snap.Domains))
+	}
+	if got := r.counter("mx.popular.test").Load(); got != 1 {
+		t.Errorf("LookupA(mx.popular.test) called %d times, want exactly 1", got)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,26 @@
+package world
+
+import "testing"
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 21, Scale: 0.003, TailProviders: 20, SelfISPs: 6}
+	w1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Providers) != len(w2.Providers) {
+		t.Fatalf("provider count %d vs %d", len(w1.Providers), len(w2.Providers))
+	}
+	for i := range w1.Providers {
+		if w1.Providers[i].ID != w2.Providers[i].ID {
+			t.Errorf("provider %d: %q vs %q", i, w1.Providers[i].ID, w2.Providers[i].ID)
+			if i > 25 {
+				break
+			}
+		}
+	}
+}

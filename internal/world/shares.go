@@ -1,0 +1,158 @@
+package world
+
+// This file holds the calibration data: market-share anchors per corpus
+// taken from the paper's published figures and tables (Figure 6 trends,
+// Table 6 absolute shares, Figure 8 national preferences). The generator
+// interpolates linearly between the first- and last-snapshot anchors, so
+// reproduced longitudinal plots show the paper's direction and rough
+// magnitude of change.
+
+// shareAnchor fixes one company's market share (percent of corpus
+// domains) at the corpus's first and last snapshot.
+type shareAnchor struct {
+	company string
+	start   float64
+	end     float64
+}
+
+// selfHostedKey is the pseudo-company representing in-house mail service.
+const selfHostedKey = "Self-Hosted"
+
+// alexaAnchors: Figure 6a/6b/6c plus Table 6 (Alexa column).
+var alexaAnchors = []shareAnchor{
+	{"Google", 26.2, 28.5},
+	{"Microsoft", 7.9, 10.8},
+	{"Yandex", 3.6, 4.5},
+	{"ProofPoint", 1.9, 3.0},
+	{"Mimecast", 1.0, 2.1},
+	{"GoDaddy", 1.9, 1.5},
+	{"Zoho", 0.7, 1.3},
+	{"Tencent", 0.7, 0.9},
+	{"Cisco Ironport", 0.7, 0.8},
+	{"Rackspace", 0.9, 0.8},
+	{"Barracuda", 0.5, 0.6},
+	{"Mail.Ru", 0.5, 0.6},
+	{"Beget", 0.3, 0.4},
+	{"MessageLabs", 0.55, 0.4},
+	{"OVH", 0.4, 0.4},
+	{"UnitedInternet", 0.5, 0.4},
+	{"NameCheap", 0.15, 0.3},
+	{"AppRiver", 0.25, 0.2},
+	{"Ukraine.ua", 0.2, 0.2},
+	{"SiteGround", 0.1, 0.2},
+	{selfHostedKey, 11.2, 7.5},
+}
+
+// comAnchors: Figure 6d/6e/6f plus Table 6 (.com column). Self-hosting is
+// rare among random .com domains (1,836 of 580,537 in 2021).
+var comAnchors = []shareAnchor{
+	{"GoDaddy", 32.5, 29.0},
+	{"Google", 8.1, 9.4},
+	{"Microsoft", 3.6, 5.8},
+	{"UnitedInternet", 5.5, 4.6},
+	{"EIG", 1.7, 1.5},
+	{"OVH", 1.3, 1.3},
+	{"NameCheap", 0.7, 1.1},
+	{"Tucows", 1.1, 1.0},
+	{"Strato", 1.0, 0.9},
+	{"Rackspace", 0.9, 0.8},
+	{"Web.com Group", 0.8, 0.7},
+	{"Aruba", 0.75, 0.7},
+	{"Yahoo", 0.7, 0.6},
+	{"SiteGround", 0.3, 0.6},
+	{"Tencent", 0.4, 0.6},
+	{"Yandex", 0.3, 0.4},
+	{"Ukraine.ua", 0.3, 0.3},
+	{"ProofPoint", 0.10, 0.25},
+	{"Mimecast", 0.05, 0.15},
+	{"Barracuda", 0.10, 0.15},
+	{"Cisco Ironport", 0.05, 0.10},
+	{"AppRiver", 0.05, 0.08},
+	{"Zoho", 0.15, 0.25},
+	{selfHostedKey, 0.25, 0.20},
+}
+
+// govAnchors: Figure 6g/6h/6i plus Table 6 (.gov column); anchors span
+// 2018-06 to 2021-06.
+var govAnchors = []shareAnchor{
+	{"Microsoft", 25.0, 32.1},
+	{"Google", 10.5, 9.6},
+	{"Barracuda", 6.5, 8.0},
+	{"ProofPoint", 3.2, 4.4},
+	{"Mimecast", 1.5, 2.5},
+	{"AppRiver", 1.3, 1.7},
+	{"Rackspace", 1.5, 1.4},
+	{"Cisco Ironport", 1.2, 1.4},
+	{"GoDaddy", 1.1, 0.9},
+	{"Sophos", 0.6, 0.8},
+	{"Solarwinds", 0.6, 0.8},
+	{"IntermediaCloud", 0.6, 0.7},
+	{"TrendMicro", 0.5, 0.6},
+	{"hhs.gov", 0.6, 0.6},
+	{"treasury.gov", 0.5, 0.5},
+	{"OVH", 0.1, 0.1},
+	{selfHostedKey, 13.0, 9.3},
+}
+
+func anchorsFor(corpus string) []shareAnchor {
+	switch corpus {
+	case CorpusAlexa:
+		return alexaAnchors
+	case CorpusCOM:
+		return comAnchors
+	case CorpusGOV:
+		return govAnchors
+	default:
+		return nil
+	}
+}
+
+// shareAt interpolates an anchor linearly across the corpus's snapshots.
+func shareAt(a shareAnchor, dateIdx, nDates int) float64 {
+	if nDates <= 1 {
+		return a.end
+	}
+	t := float64(dateIdx) / float64(nDates-1)
+	return a.start + (a.end-a.start)*t
+}
+
+// ccTLD describes one country-code TLD used in the Alexa corpus, its
+// sampling weight within the corpus, and the national preference
+// multipliers applied to the four providers Figure 8 tracks. A multiplier
+// of 0 removes the provider for that country; 1 leaves the global share
+// unchanged.
+type ccTLD struct {
+	tld     string
+	country string
+	weight  float64 // share of the Alexa corpus drawn from this ccTLD
+	// multipliers for Google, Microsoft, Tencent, Yandex.
+	google, microsoft, tencent, yandex float64
+}
+
+// ccTLDs models Figure 8: US providers enjoy broad international use;
+// Yandex and Tencent serve almost exclusively their home markets.
+var ccTLDs = []ccTLD{
+	{"br", "BR", 0.040, 1.75, 1.40, 0, 0},
+	{"ar", "AR", 0.010, 1.90, 1.20, 0, 0},
+	{"uk", "GB", 0.040, 1.25, 2.20, 0, 0},
+	{"fr", "FR", 0.030, 1.10, 1.40, 0, 0.05},
+	{"de", "DE", 0.050, 0.90, 1.40, 0, 0.05},
+	{"it", "IT", 0.030, 1.10, 1.10, 0, 0},
+	{"es", "ES", 0.020, 1.30, 1.40, 0, 0},
+	{"ro", "RO", 0.010, 1.30, 0.90, 0, 0.1},
+	{"ca", "CA", 0.020, 1.40, 1.80, 0, 0},
+	{"au", "AU", 0.020, 1.25, 2.30, 0, 0},
+	{"ru", "RU", 0.100, 0.30, 0.28, 0, 8.0},
+	{"cn", "CN", 0.020, 0.10, 0.30, 28.0, 0},
+	{"jp", "JP", 0.040, 0.90, 1.10, 0, 0},
+	{"in", "IN", 0.025, 1.60, 1.40, 0, 0},
+	{"sg", "SG", 0.005, 1.40, 1.80, 0, 0},
+}
+
+// gTLDs are the generic TLDs used for the remainder of the Alexa corpus.
+var gTLDs = []struct {
+	tld    string
+	weight float64
+}{
+	{"com", 0.70}, {"net", 0.12}, {"org", 0.12}, {"io", 0.04}, {"info", 0.02},
+}
