@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"mxmap/internal/dns"
+)
+
+// runDNSBench benchmarks the DNS data plane — wire codec, client
+// transport, server fast path — printing the results and writing them to
+// BENCH_dns.json in outDir (or the working directory when outDir is
+// empty).
+func runDNSBench(outDir string) error {
+	var results []benchResult
+
+	add := func(name string, queries int, r testing.BenchmarkResult) {
+		br := benchResult{Name: name, N: r.N, NsPerOp: float64(r.NsPerOp())}
+		if queries > 0 && r.T > 0 {
+			br.DomainsSec = float64(queries) * float64(r.N) / r.T.Seconds()
+		}
+		results = append(results, br)
+		if br.DomainsSec > 0 {
+			fmt.Printf("%-24s %12.1f ns/op %12.0f queries/sec\n", name, br.NsPerOp, br.DomainsSec)
+		} else {
+			fmt.Printf("%-24s %12.1f ns/op\n", name, br.NsPerOp)
+		}
+	}
+
+	fmt.Println("dns data plane benchmarks")
+
+	// Codec: steady-state pack and unpack of a representative MX response.
+	msg := benchMessage()
+	var buf []byte
+	add("pack_append", 0, testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = msg.AppendPack(buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	wire, err := msg.Pack()
+	if err != nil {
+		return err
+	}
+	var scratch dns.UnpackScratch
+	var decoded dns.Message
+	add("unpack_scratch", 0, testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := scratch.Unpack(wire, &decoded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Exchange over loopback UDP: per-query dial baseline vs the shared
+	// multiplexed transport, 32 concurrent resolvers each.
+	addr, closeSrv, err := startBenchServer()
+	if err != nil {
+		return err
+	}
+	defer closeSrv()
+	for _, mode := range []struct {
+		label  string
+		shared bool
+	}{{"exchange_dial", false}, {"exchange_transport", true}} {
+		var tr *dns.Transport
+		if mode.shared {
+			tr = dns.NewTransport(addr)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.SetParallelism(max(1, (32+runtime.GOMAXPROCS(0)-1)/runtime.GOMAXPROCS(0)))
+			b.RunParallel(func(pb *testing.PB) {
+				cl := &dns.Client{Server: addr, Timeout: 2 * time.Second, Retries: 2, Transport: tr}
+				ctx := context.Background()
+				for pb.Next() {
+					if _, err := cl.Exchange(ctx, "example.com", dns.TypeMX); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+		if tr != nil {
+			tr.Close()
+		}
+		add(mode.label, 1, r)
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(outDir, "BENCH_dns.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// benchMessage is a representative MX response: question, four answers,
+// compressed owner names.
+func benchMessage() *dns.Message {
+	m := &dns.Message{
+		Header:    dns.Header{ID: 42, Response: true, Authoritative: true},
+		Questions: []dns.Question{{Name: "example.com.", Type: dns.TypeMX, Class: dns.ClassIN}},
+	}
+	for i := 0; i < 4; i++ {
+		m.Answers = append(m.Answers, dns.RR{
+			Name: "example.com.", Type: dns.TypeMX, Class: dns.ClassIN, TTL: 300,
+			Data: dns.MXData{Preference: uint16(10 * (i + 1)), Exchange: fmt.Sprintf("mx%d.example.com.", i+1)},
+		})
+	}
+	return m
+}
+
+func startBenchServer() (string, func(), error) {
+	cat := dns.NewCatalog()
+	z := dns.NewZone("example.com")
+	for i := 1; i <= 2; i++ {
+		if err := z.Add(dns.RR{
+			Name: "example.com.", Type: dns.TypeMX, TTL: 300,
+			Data: dns.MXData{Preference: uint16(10 * i), Exchange: fmt.Sprintf("mx%d.example.com.", i)},
+		}); err != nil {
+			return "", nil, err
+		}
+	}
+	cat.AddZone(z)
+	srv, err := dns.NewServer(dns.ServerConfig{Catalog: cat})
+	if err != nil {
+		return "", nil, err
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.ServeUDP(pc)
+	return pc.LocalAddr().String(), func() { srv.Close() }, nil
+}

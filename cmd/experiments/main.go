@@ -40,12 +40,15 @@ func main() {
 		only        = flag.String("only", "", "comma-separated subset: fig4,table4,table5,fig5,fig6,fig7,fig8,table6")
 		sample      = flag.Int("sample", 200, "Figure 4 sample size per corpus variant")
 		parallelism = flag.Int("parallelism", 0, "inference/collection worker count (0 = GOMAXPROCS, 1 = serial)")
-		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline and write BENCH_infer.json instead of regenerating artifacts")
+		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline and DNS data plane, writing BENCH_infer.json and BENCH_dns.json instead of regenerating artifacts")
 	)
 	flag.Parse()
 
 	if *runBench {
 		if err := runInferBench(*outDir, *parallelism); err != nil {
+			log.Fatal(err)
+		}
+		if err := runDNSBench(*outDir); err != nil {
 			log.Fatal(err)
 		}
 		return

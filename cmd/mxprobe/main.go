@@ -42,8 +42,9 @@ func main() {
 	}
 	domain := flag.Arg(0)
 
-	client := dns.NewClient(*dnsServer)
+	client := dns.NewPooledClient(*dnsServer)
 	client.Timeout = *timeout
+	defer client.Close()
 	resolver := dns.ClientResolver{Client: client}
 	ctx := context.Background()
 

@@ -102,6 +102,7 @@ func iterativeSnapshot(w *world.World, sess *scan.WorldSession, corpusName, date
 			return h.CensysMode.CoveredAt(dateIdx)
 		},
 	}
+	defer col.Close()
 	targets := make([]scan.Target, len(corpus.Domains))
 	for i, d := range corpus.Domains {
 		targets[i] = scan.Target{Name: d.Name, Rank: d.Rank}

@@ -93,22 +93,22 @@ func TestIterativeResolverUsesCache(t *testing.T) {
 	if _, err := r.LookupA(ctx, "mx1.example.com"); err != nil {
 		t.Fatal(err)
 	}
-	before := itn.dials.Load()
+	before := itn.queries.Load()
 	if _, err := r.LookupA(ctx, "mx1.example.com"); err != nil {
 		t.Fatal(err)
 	}
-	if itn.dials.Load() != before {
-		t.Errorf("cached lookup touched the wire: %d extra dials", itn.dials.Load()-before)
+	if itn.queries.Load() != before {
+		t.Errorf("cached lookup touched the wire: %d extra queries", itn.queries.Load()-before)
 	}
 	// Negative answers cache too.
 	if _, err := r.LookupA(ctx, "missing.example.com"); err == nil {
 		t.Fatal("expected NXDOMAIN")
 	}
-	before = itn.dials.Load()
+	before = itn.queries.Load()
 	if _, err := r.LookupA(ctx, "missing.example.com"); err == nil {
 		t.Fatal("expected NXDOMAIN")
 	}
-	if itn.dials.Load() != before {
-		t.Errorf("negative answer not cached: %d extra dials", itn.dials.Load()-before)
+	if itn.queries.Load() != before {
+		t.Errorf("negative answer not cached: %d extra queries", itn.queries.Load()-before)
 	}
 }

@@ -40,9 +40,18 @@ type Client struct {
 	// UDPSize, when non-zero, advertises an EDNS0 payload size with each
 	// query so servers can answer beyond 512 bytes without TCP.
 	UDPSize uint16
+	// RetryBackoff is the base delay before the first UDP retry; each
+	// further retry doubles it, jittered to [d/2, d], capped at 2s
+	// (default 50ms). Immediate tight retries against a timing-out
+	// server only add load exactly when the server is struggling.
+	RetryBackoff time.Duration
 	// DialContext allows substituting the transport; nil uses net.Dialer.
 	// The network argument is "udp" or "tcp".
 	DialContext func(ctx context.Context, network, address string) (net.Conn, error)
+	// Transport, when set, carries UDP exchanges over shared multiplexed
+	// sockets instead of a fresh dial per attempt. TCP fallback still
+	// dials (truncation is rare). See NewPooledClient.
+	Transport *Transport
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -54,11 +63,29 @@ func NewClient(server string) *Client {
 }
 
 func (c *Client) dial(ctx context.Context, network string) (net.Conn, error) {
-	if c.DialContext != nil {
-		return c.DialContext(ctx, network, c.Server)
+	server := c.Server
+	dialCtx := c.DialContext
+	if c.Transport != nil {
+		if server == "" {
+			server = c.Transport.Server
+		}
+		if dialCtx == nil {
+			dialCtx = c.Transport.DialContext
+		}
+	}
+	if dialCtx != nil {
+		return dialCtx(ctx, network, server)
 	}
 	var d net.Dialer
-	return d.DialContext(ctx, network, c.Server)
+	return d.DialContext(ctx, network, server)
+}
+
+// Close releases the client's shared transport, if any.
+func (c *Client) Close() error {
+	if c.Transport != nil {
+		return c.Transport.Close()
+	}
+	return nil
 }
 
 func (c *Client) nextID() uint16 {
@@ -87,7 +114,17 @@ func (c *Client) Exchange(ctx context.Context, name string, typ Type) (*Message,
 	attempts := c.Retries + 1
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		resp, err := c.exchangeOnce(ctx, wire, query.Header.ID, "udp", timeout)
+		if i > 0 {
+			if err := c.sleep(ctx, c.retryDelay(i)); err != nil {
+				return nil, err
+			}
+		}
+		var resp *Message
+		if c.Transport != nil {
+			resp, err = c.exchangeTransport(ctx, wire, query.Questions[0], timeout)
+		} else {
+			resp, err = c.exchangeOnce(ctx, wire, query.Header.ID, "udp", timeout)
+		}
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
@@ -105,6 +142,48 @@ func (c *Client) Exchange(ctx context.Context, name string, typ Type) (*Message,
 		return resp, nil
 	}
 	return nil, fmt.Errorf("dns: exchange with %s failed: %w", c.Server, lastErr)
+}
+
+// retryDelay returns the jittered exponential backoff before retry
+// attempt (attempt >= 1): base 2^(attempt-1), jittered to [d/2, d],
+// capped at 2s.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > 2*time.Second || d <= 0 {
+		d = 2 * time.Second
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+	}
+	d = d/2 + time.Duration(c.rng.Int64N(int64(d/2)+1))
+	c.mu.Unlock()
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// exchangeTransport runs one UDP attempt over the shared transport.
+func (c *Client) exchangeTransport(ctx context.Context, wire []byte, q Question, timeout time.Duration) (*Message, error) {
+	respBuf, err := c.Transport.RoundTrip(ctx, wire, q, timeout)
+	if err != nil {
+		return nil, err
+	}
+	// The transport already verified ID and question against the query.
+	return Unpack(respBuf)
 }
 
 func (c *Client) exchangeOnce(ctx context.Context, wire []byte, id uint16, network string, timeout time.Duration) (*Message, error) {
@@ -127,11 +206,21 @@ func (c *Client) exchangeOnce(ctx context.Context, wire []byte, id uint16, netwo
 			return nil, err
 		}
 		buf := make([]byte, 64*1024)
-		n, err := conn.Read(buf)
-		if err != nil {
-			return nil, err
+		// A shared or unconnected socket can deliver datagrams that are
+		// not our answer: late responses to earlier queries, or spoofed
+		// packets guessing at our ID. Those must not burn the attempt —
+		// keep reading until the real response or the deadline.
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := Unpack(buf[:n])
+			if err != nil || resp.Header.ID != id || !resp.Header.Response {
+				continue // stray datagram; keep waiting
+			}
+			return resp, nil
 		}
-		respBuf = buf[:n]
 	case "tcp":
 		out := make([]byte, 2+len(wire))
 		binary.BigEndian.PutUint16(out, uint16(len(wire)))
@@ -154,6 +243,8 @@ func (c *Client) exchangeOnce(ctx context.Context, wire []byte, id uint16, netwo
 	if err != nil {
 		return nil, err
 	}
+	// TCP is a private ordered stream: a mismatch is a server bug, not a
+	// stray datagram, so it stays fatal.
 	if resp.Header.ID != id {
 		return nil, ErrIDMismatch
 	}

@@ -38,6 +38,10 @@ type IterativeResolver struct {
 	// delegations caches zone -> server addresses discovered from
 	// referrals, keyed by the delegated zone name.
 	delegations map[string][]netip.AddrPort
+	// transports holds one multiplexed UDP transport per authority
+	// server, so iteration reuses sockets across queries and callers
+	// instead of dialing per exchange. Closed by Close.
+	transports map[string]*Transport
 }
 
 // Errors particular to iteration.
@@ -190,6 +194,36 @@ func (r *IterativeResolver) InvalidateCache() {
 	r.delegations = nil
 }
 
+// transportFor returns the shared transport for one server address,
+// creating it on first use. Two sockets per authority is plenty: each
+// socket multiplexes up to 65536 concurrent queries.
+func (r *IterativeResolver) transportFor(server string) *Transport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.transports[server]; ok {
+		return t
+	}
+	if r.transports == nil {
+		r.transports = make(map[string]*Transport)
+	}
+	t := &Transport{Server: server, Conns: 2, DialContext: r.DialContext}
+	r.transports[server] = t
+	return t
+}
+
+// Close releases the resolver's shared transports. The resolver remains
+// usable; subsequent queries open fresh transports.
+func (r *IterativeResolver) Close() error {
+	r.mu.Lock()
+	transports := r.transports
+	r.transports = nil
+	r.mu.Unlock()
+	for _, t := range transports {
+		t.Close()
+	}
+	return nil
+}
+
 // askAny queries the servers in order until one answers.
 func (r *IterativeResolver) askAny(ctx context.Context, servers []netip.AddrPort, name string, typ Type) (*Message, error) {
 	var lastErr error
@@ -199,6 +233,7 @@ func (r *IterativeResolver) askAny(ctx context.Context, servers []netip.AddrPort
 			Timeout:     r.Timeout,
 			Retries:     0,
 			DialContext: r.DialContext,
+			Transport:   r.transportFor(srv.String()),
 		}
 		resp, err := cl.Exchange(ctx, name, typ)
 		if err != nil {

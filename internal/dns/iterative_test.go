@@ -18,7 +18,21 @@ import (
 type iterTestNet struct {
 	net   *netsim.Network
 	roots []netip.AddrPort
-	dials atomic.Int64
+	// queries counts datagrams/requests written to servers. With the
+	// shared transport, sockets are dialed once and reused, so writes —
+	// not dials — are the per-exchange signal.
+	queries atomic.Int64
+}
+
+// countingConn counts queries written through a fabric connection.
+type countingConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	c.n.Add(1)
+	return c.Conn.Write(p)
 }
 
 const (
@@ -108,15 +122,20 @@ func (itn *iterTestNet) resolver() *IterativeResolver {
 		Roots:   itn.roots,
 		Timeout: 2 * time.Second,
 		DialContext: func(ctx context.Context, network, address string) (net.Conn, error) {
-			itn.dials.Add(1)
 			ap, err := netip.ParseAddrPort(address)
 			if err != nil {
 				return nil, err
 			}
+			var conn net.Conn
 			if network == "udp" {
-				return itn.net.DialUDP(ap)
+				conn, err = itn.net.DialUDP(ap)
+			} else {
+				conn, err = itn.net.Dial(ctx, ap)
 			}
-			return itn.net.Dial(ctx, ap)
+			if err != nil {
+				return nil, err
+			}
+			return countingConn{Conn: conn, n: &itn.queries}, nil
 		},
 	}
 }
@@ -180,11 +199,11 @@ func TestIterativeDelegationCache(t *testing.T) {
 	if _, err := r.LookupA(ctx, "mx1.example.com"); err != nil {
 		t.Fatal(err)
 	}
-	cold := itn.dials.Load()
+	cold := itn.queries.Load()
 	if _, err := r.LookupA(ctx, "mx1.example.com"); err != nil {
 		t.Fatal(err)
 	}
-	warm := itn.dials.Load() - cold
+	warm := itn.queries.Load() - cold
 	if warm >= cold {
 		t.Errorf("cache ineffective: cold=%d warm=%d", cold, warm)
 	}
@@ -195,7 +214,7 @@ func TestIterativeDelegationCache(t *testing.T) {
 	if _, err := r.LookupA(ctx, "mx1.example.com"); err != nil {
 		t.Fatal(err)
 	}
-	if again := itn.dials.Load() - cold - warm; again != cold {
+	if again := itn.queries.Load() - cold - warm; again != cold {
 		t.Errorf("after invalidate: %d exchanges, want %d", again, cold)
 	}
 }

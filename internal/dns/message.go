@@ -65,9 +65,16 @@ func (m *Message) Reply() *Message {
 	}
 }
 
-// Pack serializes the message to wire format.
+// Pack serializes the message to wire format. It is equivalent to
+// AppendPack(nil); callers on a hot path should prefer AppendPack with a
+// reused buffer.
 func (m *Message) Pack() ([]byte, error) {
-	p := newPacker()
+	return m.AppendPack(nil)
+}
+
+// appendPack writes the message through a prepared packer (buf and base
+// already set, offsets cleared).
+func (m *Message) appendPack(p *packer) error {
 	p.uint16(m.Header.ID)
 	var flags uint16
 	if m.Header.Response {
@@ -90,13 +97,13 @@ func (m *Message) Pack() ([]byte, error) {
 	p.uint16(flags)
 	for _, n := range []int{len(m.Questions), len(m.Answers), len(m.Authority), len(m.Additional)} {
 		if n > 0xFFFF {
-			return nil, ErrMessageTooLarge
+			return ErrMessageTooLarge
 		}
 		p.uint16(uint16(n))
 	}
 	for _, q := range m.Questions {
 		if err := p.name(q.Name, true); err != nil {
-			return nil, err
+			return err
 		}
 		p.uint16(uint16(q.Type))
 		p.uint16(uint16(q.Class))
@@ -104,14 +111,14 @@ func (m *Message) Pack() ([]byte, error) {
 	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
 		for _, rr := range sec {
 			if err := packRR(p, rr); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	if len(p.buf) > maxMessageSize {
-		return nil, ErrMessageTooLarge
+	if p.msgLen() > maxMessageSize {
+		return ErrMessageTooLarge
 	}
-	return p.buf, nil
+	return nil
 }
 
 func packRR(p *packer, rr RR) error {
@@ -143,90 +150,20 @@ func packRR(p *packer, rr RR) error {
 	return nil
 }
 
-// Unpack parses a wire-format message.
-func Unpack(b []byte) (*Message, error) {
-	u := &unpacker{msg: b}
-	var m Message
-	id, err := u.uint16()
-	if err != nil {
-		return nil, err
-	}
-	flags, err := u.uint16()
-	if err != nil {
-		return nil, err
-	}
-	m.Header = Header{
-		ID:                 id,
-		Response:           flags&(1<<15) != 0,
-		OpCode:             OpCode(flags >> 11 & 0xF),
-		Authoritative:      flags&(1<<10) != 0,
-		Truncated:          flags&(1<<9) != 0,
-		RecursionDesired:   flags&(1<<8) != 0,
-		RecursionAvailable: flags&(1<<7) != 0,
-		RCode:              RCode(flags & 0xF),
-	}
-	var counts [4]uint16
-	for i := range counts {
-		if counts[i], err = u.uint16(); err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < int(counts[0]); i++ {
-		var q Question
-		if q.Name, err = u.name(); err != nil {
-			return nil, err
-		}
-		var t, c uint16
-		if t, err = u.uint16(); err != nil {
-			return nil, err
-		}
-		if c, err = u.uint16(); err != nil {
-			return nil, err
-		}
-		q.Type, q.Class = Type(t), Class(c)
-		m.Questions = append(m.Questions, q)
-	}
-	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
-	for si, sec := range sections {
-		for i := 0; i < int(counts[si+1]); i++ {
-			rr, err := unpackRR(u)
-			if err != nil {
-				return nil, err
-			}
-			*sec = append(*sec, rr)
-		}
-	}
-	if u.remaining() != 0 {
-		return nil, errors.New("dns: trailing bytes after message")
-	}
-	return &m, nil
-}
+var errTrailingBytes = errors.New("dns: trailing bytes after message")
 
-func unpackRR(u *unpacker) (RR, error) {
-	var rr RR
-	var err error
-	if rr.Name, err = u.name(); err != nil {
-		return rr, err
+// Unpack parses a wire-format message. It uses a pooled UnpackScratch;
+// callers decoding in a loop should hold their own scratch and reused
+// Message via UnpackScratch.Unpack to avoid allocating the result.
+func Unpack(b []byte) (*Message, error) {
+	s := unpackScratchPool.Get().(*UnpackScratch)
+	m := new(Message)
+	err := s.Unpack(b, m)
+	unpackScratchPool.Put(s)
+	if err != nil {
+		return nil, err
 	}
-	var t, c uint16
-	if t, err = u.uint16(); err != nil {
-		return rr, err
-	}
-	if c, err = u.uint16(); err != nil {
-		return rr, err
-	}
-	rr.Type, rr.Class = Type(t), Class(c)
-	if rr.TTL, err = u.uint32(); err != nil {
-		return rr, err
-	}
-	var rdlen uint16
-	if rdlen, err = u.uint16(); err != nil {
-		return rr, err
-	}
-	if rr.Data, err = unpackRData(u, rr.Type, int(rdlen)); err != nil {
-		return rr, err
-	}
-	return rr, nil
+	return m, nil
 }
 
 // String renders the message in a dig-like multi-section form, useful in

@@ -53,21 +53,50 @@ func TrimmedName(s string) string {
 // CheckName validates a domain name in presentation form. It accepts
 // letters, digits and hyphens within labels plus underscore as a leading
 // character (for service labels such as _dmarc), and enforces label and
-// name length limits. The root name "." is valid.
+// name length limits. The root name "." is valid. It performs no heap
+// allocations, so the packing hot path can validate every name.
 func CheckName(s string) error {
 	s = strings.TrimSuffix(strings.TrimSpace(s), ".")
 	if s == "" {
 		return nil // root
 	}
+	if s[len(s)-1] == '.' {
+		return ErrBadName // empty final label ("a..")
+	}
 	if len(s) > MaxNameLen {
 		return ErrNameTooLong
 	}
-	for _, label := range strings.Split(s, ".") {
-		if err := checkLabel(label); err != nil {
+	for start := 0; start < len(s); {
+		end := strings.IndexByte(s[start:], '.')
+		if end < 0 {
+			end = len(s)
+		} else {
+			end += start
+		}
+		if err := checkLabel(s[start:end]); err != nil {
 			return err
 		}
+		start = end + 1
 	}
 	return nil
+}
+
+// isCanonicalName reports whether s is already in CanonicalName form
+// (lower case, trailing dot, no surrounding space), letting hot paths
+// skip the allocating normalization.
+func isCanonicalName(s string) bool {
+	if s == "" || s[len(s)-1] != '.' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		// Upper case needs lowering; control bytes and non-ASCII may be
+		// trimmed or rejected by the slow path — defer to it.
+		if ('A' <= c && c <= 'Z') || c <= ' ' || c >= 0x80 {
+			return false
+		}
+	}
+	return true
 }
 
 func checkLabel(label string) error {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package dns
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// assertions are skipped under it (it randomizes sync.Pool behavior).
+const raceEnabled = false

@@ -8,13 +8,16 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // A Catalog is a set of zones searched by longest-suffix match, the lookup
 // structure an authoritative server serves from.
 type Catalog struct {
+	gen   atomic.Uint64 // bumped on every mutation; see Generation
 	mu    sync.RWMutex
 	zones map[string]*Zone // canonical origin -> zone
 }
@@ -29,7 +32,13 @@ func (c *Catalog) AddZone(z *Zone) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.zones[z.Origin] = z
+	c.gen.Add(1)
 }
+
+// Generation returns a counter that increases on every catalog mutation.
+// Servers use it to invalidate packed-response caches: a cached answer is
+// valid only while the generation it was built under is current.
+func (c *Catalog) Generation() uint64 { return c.gen.Load() }
 
 // FindZone returns the zone with the longest origin that is a suffix of
 // name, or nil when the server is not authoritative for name.
@@ -142,11 +151,21 @@ type ServerConfig struct {
 	// UDPSize is the maximum UDP response; larger answers are truncated
 	// (default 512, the classic RFC 1035 limit).
 	UDPSize int
+	// UDPWorkers is the number of concurrent packet handlers per ServeUDP
+	// call (default min(GOMAXPROCS, 8)). Each worker owns its read buffer
+	// and decode scratch, replacing the old goroutine-plus-copy per
+	// packet.
+	UDPWorkers int
+	// DisableCache turns off the packed-response cache. The cache is also
+	// bypassed when Logger is set (per-query logging) and for non-IN
+	// classes.
+	DisableCache bool
 }
 
 // A Server answers DNS queries over UDP and TCP from a Catalog.
 type Server struct {
-	cfg ServerConfig
+	cfg   ServerConfig
+	cache respCache
 
 	mu       sync.Mutex
 	udpConns []net.PacketConn
@@ -166,11 +185,19 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.UDPSize == 0 {
 		cfg.UDPSize = 512
 	}
+	if cfg.UDPWorkers <= 0 {
+		cfg.UDPWorkers = min(runtime.GOMAXPROCS(0), 8)
+	}
 	return &Server{cfg: cfg}, nil
 }
 
 // ServeUDP answers queries arriving on pc until the server is closed or
 // pc fails. It blocks; run it in a goroutine.
+//
+// Packets are handled by a pool of cfg.UDPWorkers workers, each reading,
+// resolving and replying on its own reused buffers — net.PacketConn is
+// safe for concurrent ReadFrom/WriteTo — so the steady-state path has no
+// per-packet goroutine spawn or query copy.
 func (s *Server) ServeUDP(pc net.PacketConn) error {
 	s.mu.Lock()
 	if s.closed {
@@ -182,27 +209,36 @@ func (s *Server) ServeUDP(pc net.PacketConn) error {
 	s.mu.Unlock()
 	defer s.wg.Done()
 
-	buf := make([]byte, 64*1024)
-	for {
-		n, addr, err := pc.ReadFrom(buf)
-		if err != nil {
-			if s.isClosed() {
-				return nil
-			}
-			return err
-		}
-		query := append([]byte(nil), buf[:n]...)
-		s.wg.Add(1)
+	var wg sync.WaitGroup
+	errc := make(chan error, s.cfg.UDPWorkers)
+	for i := 0; i < s.cfg.UDPWorkers; i++ {
+		wg.Add(1)
 		go func() {
-			defer s.wg.Done()
-			resp := s.handle(query, true)
-			if resp != nil {
-				if _, err := pc.WriteTo(resp, addr); err != nil {
-					s.logf("udp write: %v", err)
+			defer wg.Done()
+			buf := make([]byte, 64*1024)
+			st := new(handleState)
+			for {
+				n, addr, err := pc.ReadFrom(buf)
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp := s.handle(st, buf[:n], true)
+				if resp != nil {
+					// WriteTo copies the payload into the socket (or
+					// fabric queue), so reusing resp's buffer is safe.
+					if _, err := pc.WriteTo(resp, addr); err != nil {
+						s.logf("udp write: %v", err)
+					}
 				}
 			}
 		}()
 	}
+	wg.Wait()
+	if s.isClosed() {
+		return nil
+	}
+	return <-errc
 }
 
 // ServeTCP accepts length-prefixed DNS-over-TCP connections on ln until
@@ -236,6 +272,7 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 }
 
 func (s *Server) serveTCPConn(conn net.Conn) {
+	st := new(handleState)
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
 			return
@@ -249,7 +286,7 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, query); err != nil {
 			return
 		}
-		resp := s.handle(query, false)
+		resp := s.handle(st, query, false)
 		if resp == nil {
 			return
 		}
@@ -262,10 +299,38 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 	}
 }
 
+// handleState is the per-worker scratch for the query path: a decode
+// scratch, a reused query Message and a reused response buffer. The
+// slice returned by handle aliases st.out and is valid until the next
+// handle call on the same state.
+type handleState struct {
+	scratch UnpackScratch
+	query   Message
+	out     []byte
+}
+
+// udpLimit returns the response size cap for a query that advertised
+// reqSize via EDNS0 (hasEDNS), and whether an OPT record should be
+// echoed. The cap honors the client's size up to MaxEDNSSize but never
+// shrinks below the server's own configured size.
+func (s *Server) udpLimit(reqSize uint16, hasEDNS bool) int {
+	limit := s.cfg.UDPSize
+	if hasEDNS {
+		if int(reqSize) > limit {
+			limit = int(reqSize)
+		}
+		if limit > MaxEDNSSize {
+			limit = MaxEDNSSize
+		}
+	}
+	return limit
+}
+
 // handle parses a query and produces a packed response; nil means "drop".
-func (s *Server) handle(query []byte, udp bool) []byte {
-	m, err := Unpack(query)
-	if err != nil || m.Header.Response {
+// The returned slice may alias st.out.
+func (s *Server) handle(st *handleState, query []byte, udp bool) []byte {
+	m := &st.query
+	if err := st.scratch.Unpack(query, m); err != nil || m.Header.Response {
 		// Unparseable or not a query; attempt a FORMERR with the echoed ID
 		// when at least the ID survived.
 		if len(query) >= 2 {
@@ -279,6 +344,13 @@ func (s *Server) handle(query []byte, udp bool) []byte {
 		}
 		return nil
 	}
+	reqSize, hasEDNS := m.EDNS0UDPSize()
+	limit := s.udpLimit(reqSize, hasEDNS)
+	if m.Header.OpCode == OpQuery && len(m.Questions) == 1 &&
+		m.Questions[0].Class == ClassIN && s.cfg.Logger == nil && !s.cfg.DisableCache {
+		return s.handleCached(st, m, udp, limit, hasEDNS)
+	}
+
 	var resp *Message
 	switch {
 	case m.Header.OpCode != OpQuery:
@@ -293,16 +365,10 @@ func (s *Server) handle(query []byte, udp bool) []byte {
 		resp.Header.RecursionDesired = m.Header.RecursionDesired
 	}
 	// Honor the client's EDNS0 payload size up to our cap, and echo an
-	// OPT record so the client knows EDNS0 was understood.
-	udpLimit := s.cfg.UDPSize
-	if reqSize, ok := m.EDNS0UDPSize(); ok {
-		if int(reqSize) > udpLimit {
-			udpLimit = int(reqSize)
-		}
-		if udpLimit > MaxEDNSSize {
-			udpLimit = MaxEDNSSize
-		}
-		resp.SetEDNS0(MaxEDNSSize)
+	// OPT record advertising the cap we actually applied so the client
+	// knows EDNS0 was understood.
+	if hasEDNS {
+		resp.SetEDNS0(uint16(limit))
 	}
 	b, err := resp.Pack()
 	if err != nil {
@@ -312,12 +378,17 @@ func (s *Server) handle(query []byte, udp bool) []byte {
 		b, _ = fail.Pack()
 		return b
 	}
-	if udp && len(b) > udpLimit {
+	if udp && len(b) > limit {
 		// Truncate: header + question only, TC bit set; client retries TCP.
 		trunc := m.Reply()
 		trunc.Header.RCode = resp.Header.RCode
 		trunc.Header.Authoritative = resp.Header.Authoritative
 		trunc.Header.Truncated = true
+		if hasEDNS {
+			// Keep EDNS0 on the truncated reply too: dropping OPT would
+			// tell the client its EDNS offer was not understood.
+			trunc.SetEDNS0(uint16(limit))
+		}
 		b, _ = trunc.Pack()
 	}
 	s.logQuery(m, resp)

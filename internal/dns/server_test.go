@@ -17,14 +17,25 @@ func startTestServer(t *testing.T, catalog *Catalog) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", pc.LocalAddr().String())
-	if err != nil {
+	// The TCP listener must share the UDP socket's port; an ephemeral
+	// client connection elsewhere in the suite can already hold that TCP
+	// port, so retry with a fresh UDP port on collision.
+	var pc net.PacketConn
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		var err error
+		pc, err = net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err = net.Listen("tcp", pc.LocalAddr().String())
+		if err == nil {
+			break
+		}
 		pc.Close()
-		t.Fatal(err)
+		if attempt == 10 {
+			t.Fatal(err)
+		}
 	}
 	go srv.ServeUDP(pc)
 	go srv.ServeTCP(ln)

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"net/netip"
 	"strings"
 )
 
@@ -21,21 +20,34 @@ var (
 const maxMessageSize = 1 << 16
 
 // packer serializes a message with RFC 1035 §4.1.4 name compression.
+// Packers are pooled (see AppendPack): the offsets map is cleared and
+// reused across messages so the steady-state encode path performs zero
+// heap allocations.
 type packer struct {
 	buf []byte
-	// offsets maps a canonical name suffix to the offset where it was
-	// first written, enabling compression pointers.
+	// base is the offset within buf where the current message starts;
+	// compression pointers are message-relative, so append-style packing
+	// after a prefix (e.g. a TCP length header) stays correct.
+	base int
+	// offsets maps a canonical name suffix to the message-relative offset
+	// where it was first written, enabling compression pointers. Keys are
+	// substrings of the names being packed, so inserting them allocates
+	// nothing.
 	offsets map[string]int
 }
 
 func newPacker() *packer {
-	return &packer{offsets: make(map[string]int)}
+	return &packer{offsets: make(map[string]int, 16)}
 }
 
 func (p *packer) uint8(v uint8)   { p.buf = append(p.buf, v) }
 func (p *packer) uint16(v uint16) { p.buf = binary.BigEndian.AppendUint16(p.buf, v) }
 func (p *packer) uint32(v uint32) { p.buf = binary.BigEndian.AppendUint32(p.buf, v) }
 func (p *packer) bytes(b []byte)  { p.buf = append(p.buf, b...) }
+func (p *packer) str(s string)    { p.buf = append(p.buf, s...) }
+
+// msgLen is the number of bytes written for the current message.
+func (p *packer) msgLen() int { return len(p.buf) - p.base }
 
 // name writes a domain name, emitting a compression pointer to an earlier
 // occurrence of any suffix when possible. compress=false writes the name
@@ -43,7 +55,9 @@ func (p *packer) bytes(b []byte)  { p.buf = append(p.buf, b...) }
 // the types in this package all permit compression per RFC 1035, but the
 // option is kept for strictness with TXT-embedded names and future types).
 func (p *packer) name(name string, compress bool) error {
-	name = CanonicalName(name)
+	if !isCanonicalName(name) {
+		name = CanonicalName(name)
+	}
 	if name == "." {
 		p.uint8(0)
 		return nil
@@ -51,19 +65,22 @@ func (p *packer) name(name string, compress bool) error {
 	if err := CheckName(name); err != nil {
 		return err
 	}
-	labels := SplitLabels(name)
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
-		if off, ok := p.offsets[suffix]; ok && compress && off < 0x3FFF {
+	// Iterate labels by index; every suffix key is a substring of name, so
+	// the compression map never copies label data.
+	for start := 0; start < len(name); {
+		suffix := name[start:]
+		if off, ok := p.offsets[suffix]; ok && compress {
 			p.uint16(0xC000 | uint16(off))
 			return nil
 		}
-		if len(p.buf) < 0x3FFF {
-			p.offsets[suffix] = len(p.buf)
+		if off := p.msgLen(); off < 0x3FFF {
+			p.offsets[suffix] = off
 		}
-		label := labels[i]
+		end := start + strings.IndexByte(suffix, '.') // canonical names end in "."
+		label := name[start:end]
 		p.uint8(uint8(len(label)))
-		p.bytes([]byte(label))
+		p.str(label)
+		start = end + 1
 	}
 	p.uint8(0)
 	return nil
@@ -113,17 +130,21 @@ func (u *unpacker) bytes(n int) ([]byte, error) {
 	return b, nil
 }
 
-// name reads a possibly-compressed domain name starting at the current
-// offset. Pointer chains are bounded to defend against loops.
-func (u *unpacker) name() (string, error) {
-	var sb strings.Builder
+// nameInto reads a possibly-compressed domain name starting at the
+// current offset, appending its ASCII-lowercased presentation form
+// ("label.label.") to dst. The root name appends nothing — callers map
+// an empty result to ".". Pointer chains are bounded to defend against
+// loops. Appending into a caller-owned scratch buffer keeps the decode
+// hot path allocation-free.
+func (u *unpacker) nameInto(dst []byte) ([]byte, error) {
 	off := u.off
 	jumped := false
 	const maxPointers = 32
 	ptrs := 0
+	n0 := len(dst)
 	for {
 		if off >= len(u.msg) {
-			return "", ErrTruncatedMessage
+			return dst, ErrTruncatedMessage
 		}
 		c := u.msg[off]
 		switch {
@@ -131,13 +152,10 @@ func (u *unpacker) name() (string, error) {
 			if !jumped {
 				u.off = off + 1
 			}
-			if sb.Len() == 0 {
-				return ".", nil
-			}
-			return sb.String(), nil
+			return dst, nil
 		case c&0xC0 == 0xC0:
 			if off+1 >= len(u.msg) {
-				return "", ErrTruncatedMessage
+				return dst, ErrTruncatedMessage
 			}
 			ptr := int(binary.BigEndian.Uint16(u.msg[off:]) & 0x3FFF)
 			if !jumped {
@@ -147,40 +165,33 @@ func (u *unpacker) name() (string, error) {
 			if ptr >= off {
 				// Pointers must point backwards; forward pointers enable
 				// loops and are rejected.
-				return "", ErrBadPointer
+				return dst, ErrBadPointer
 			}
 			ptrs++
 			if ptrs > maxPointers {
-				return "", ErrBadPointer
+				return dst, ErrBadPointer
 			}
 			off = ptr
 		case c&0xC0 != 0:
-			return "", fmt.Errorf("dns: reserved label type %#x", c&0xC0)
+			return dst, fmt.Errorf("dns: reserved label type %#x", c&0xC0)
 		default:
 			n := int(c)
 			if off+1+n > len(u.msg) {
-				return "", ErrTruncatedMessage
+				return dst, ErrTruncatedMessage
 			}
-			sb.Write(bytesToLower(u.msg[off+1 : off+1+n]))
-			sb.WriteByte('.')
-			if sb.Len() > MaxNameLen+1 {
-				return "", ErrNameTooLong
+			for _, ch := range u.msg[off+1 : off+1+n] {
+				if 'A' <= ch && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				dst = append(dst, ch)
+			}
+			dst = append(dst, '.')
+			if len(dst)-n0 > MaxNameLen+1 {
+				return dst, ErrNameTooLong
 			}
 			off += 1 + n
 		}
 	}
-}
-
-// bytesToLower returns an ASCII-lowercased copy of b.
-func bytesToLower(b []byte) []byte {
-	out := make([]byte, len(b))
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		out[i] = c
-	}
-	return out
 }
 
 // packRData appends the wire form of data, returning an error for
@@ -217,7 +228,7 @@ func packRData(p *packer, data RData) error {
 				return fmt.Errorf("%w: TXT string longer than 255 bytes", ErrBadRData)
 			}
 			p.uint8(uint8(len(s)))
-			p.bytes([]byte(s))
+			p.str(s)
 		}
 	case OPTData:
 		// OPT carries no RDATA in this implementation (no EDNS options).
@@ -237,102 +248,6 @@ func packRData(p *packer, data RData) error {
 		return fmt.Errorf("%w: unsupported rdata type %T", ErrBadRData, data)
 	}
 	return nil
-}
-
-// unpackRData reads length bytes of RDATA of the given type. Unknown types
-// are returned as opaque rawData so messages round-trip.
-func unpackRData(u *unpacker, typ Type, length int) (RData, error) {
-	end := u.off + length
-	if end > len(u.msg) {
-		return nil, ErrTruncatedMessage
-	}
-	var (
-		data RData
-		err  error
-	)
-	switch typ {
-	case TypeA:
-		var b []byte
-		if b, err = u.bytes(4); err == nil {
-			data = AData{Addr: netip.AddrFrom4([4]byte(b))}
-		}
-	case TypeAAAA:
-		var b []byte
-		if b, err = u.bytes(16); err == nil {
-			data = AAAAData{Addr: netip.AddrFrom16([16]byte(b))}
-		}
-	case TypeNS:
-		var host string
-		if host, err = u.name(); err == nil {
-			data = NSData{Host: host}
-		}
-	case TypeCNAME:
-		var target string
-		if target, err = u.name(); err == nil {
-			data = CNAMEData{Target: target}
-		}
-	case TypePTR:
-		var target string
-		if target, err = u.name(); err == nil {
-			data = PTRData{Target: target}
-		}
-	case TypeMX:
-		var pref uint16
-		var exch string
-		if pref, err = u.uint16(); err == nil {
-			if exch, err = u.name(); err == nil {
-				data = MXData{Preference: pref, Exchange: exch}
-			}
-		}
-	case TypeTXT:
-		var ss []string
-		for u.off < end {
-			var n uint8
-			if n, err = u.uint8(); err != nil {
-				break
-			}
-			var b []byte
-			if b, err = u.bytes(int(n)); err != nil {
-				break
-			}
-			ss = append(ss, string(b))
-		}
-		if err == nil {
-			data = TXTData{Strings: ss}
-		}
-	case TypeOPT:
-		// Skip any EDNS options; only the header fields matter here.
-		if _, err = u.bytes(length); err == nil {
-			data = OPTData{}
-		}
-	case TypeSOA:
-		var soa SOAData
-		if soa.MName, err = u.name(); err == nil {
-			if soa.RName, err = u.name(); err == nil {
-				fields := []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum}
-				for _, f := range fields {
-					if *f, err = u.uint32(); err != nil {
-						break
-					}
-				}
-				if err == nil {
-					data = soa
-				}
-			}
-		}
-	default:
-		var b []byte
-		if b, err = u.bytes(length); err == nil {
-			data = rawData{typ: typ, data: append([]byte(nil), b...)}
-		}
-	}
-	if err != nil {
-		return nil, err
-	}
-	if u.off != end {
-		return nil, fmt.Errorf("%w: rdata length mismatch for %s", ErrBadRData, typ)
-	}
-	return data, nil
 }
 
 // rawData preserves RDATA of types this package does not interpret.

@@ -1,0 +1,335 @@
+package dns
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// This file is the allocation-free fast path of the wire codec. Packing
+// goes through pooled packers whose compression maps are cleared and
+// reused; unpacking goes through an UnpackScratch that interns decoded
+// names and boxed RData values, so the steady-state encode/decode cycle
+// of the measurement hot loop (the same exchanges, owner names and
+// record shapes over and over) touches the allocator not at all.
+// Message.Pack and Unpack remain as thin wrappers in message.go.
+
+var packerPool = sync.Pool{New: func() any { return newPacker() }}
+
+// AppendPack serializes the message to wire format, appending to buf and
+// returning the extended slice. Compression pointers are relative to the
+// start of the appended message, so packing after a prefix (such as a
+// TCP length header) is well-defined. With a reused buffer this performs
+// zero heap allocations in steady state.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
+	p := packerPool.Get().(*packer)
+	p.buf = buf
+	p.base = len(buf)
+	clear(p.offsets)
+	err := m.appendPack(p)
+	out := p.buf
+	p.buf = nil
+	packerPool.Put(p)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// internLimit bounds the two intern tables of an UnpackScratch; past it
+// the table is dropped and re-grown, so adversarial name churn cannot
+// hold unbounded memory.
+const internLimit = 8192
+
+// An UnpackScratch holds reusable decode state: a name scratch buffer
+// and intern tables for decoded names and boxed RData values. With a
+// scratch and a reused Message, Unpack performs zero heap allocations in
+// steady state (for the record types on the measurement hot path: A,
+// AAAA, NS, CNAME, PTR, MX, TXT, OPT, SOA).
+//
+// A scratch is not safe for concurrent use; give each goroutine its own.
+// Messages decoded through one scratch share interned strings and RData
+// values, all of which are immutable by convention.
+type UnpackScratch struct {
+	nbuf  []byte            // name decode scratch
+	key   []byte            // rdata intern key scratch
+	names map[string]string // interned decoded names
+	data  map[string]RData  // interned boxed rdata, keyed by type+content
+}
+
+var unpackScratchPool = sync.Pool{New: func() any { return new(UnpackScratch) }}
+
+// name decodes a (possibly compressed) name and returns its interned
+// canonical string.
+func (s *UnpackScratch) name(u *unpacker) (string, error) {
+	b, err := u.nameInto(s.nbuf[:0])
+	s.nbuf = b
+	if err != nil {
+		return "", err
+	}
+	if len(b) == 0 {
+		return ".", nil
+	}
+	if v, ok := s.names[string(b)]; ok {
+		return v, nil
+	}
+	if s.names == nil || len(s.names) >= internLimit {
+		s.names = make(map[string]string, 64)
+	}
+	v := string(b)
+	s.names[v] = v
+	return v, nil
+}
+
+// intern returns the cached boxed RData for key, or boxes the value
+// produced by mk and caches it. Boxing an RData into an interface is an
+// allocation; reusing the first boxing for identical content is what
+// makes repeated decodes free.
+func (s *UnpackScratch) intern(key []byte, mk func() RData) RData {
+	if v, ok := s.data[string(key)]; ok {
+		return v
+	}
+	if s.data == nil || len(s.data) >= internLimit {
+		s.data = make(map[string]RData, 64)
+	}
+	v := mk()
+	s.data[string(key)] = v
+	return v
+}
+
+// Unpack parses a wire-format message into m, reusing m's section slices
+// and s's intern tables. m is fully overwritten.
+func (s *UnpackScratch) Unpack(b []byte, m *Message) error {
+	u := unpacker{msg: b}
+	m.Questions = m.Questions[:0]
+	m.Answers = m.Answers[:0]
+	m.Authority = m.Authority[:0]
+	m.Additional = m.Additional[:0]
+	id, err := u.uint16()
+	if err != nil {
+		return err
+	}
+	flags, err := u.uint16()
+	if err != nil {
+		return err
+	}
+	m.Header = Header{
+		ID:                 id,
+		Response:           flags&(1<<15) != 0,
+		OpCode:             OpCode(flags >> 11 & 0xF),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = u.uint16(); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = s.name(&u); err != nil {
+			return err
+		}
+		var t, c uint16
+		if t, err = u.uint16(); err != nil {
+			return err
+		}
+		if c, err = u.uint16(); err != nil {
+			return err
+		}
+		q.Type, q.Class = Type(t), Class(c)
+		m.Questions = append(m.Questions, q)
+	}
+	sections := [3]*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	for si, sec := range sections {
+		for i := 0; i < int(counts[si+1]); i++ {
+			rr, err := s.unpackRR(&u)
+			if err != nil {
+				return err
+			}
+			*sec = append(*sec, rr)
+		}
+	}
+	if u.remaining() != 0 {
+		return errTrailingBytes
+	}
+	// Empty sections stay nil so scratch decodes are structurally
+	// identical to fresh ones (DeepEqual in tests, JSON round trips).
+	if len(m.Questions) == 0 {
+		m.Questions = nil
+	}
+	if len(m.Answers) == 0 {
+		m.Answers = nil
+	}
+	if len(m.Authority) == 0 {
+		m.Authority = nil
+	}
+	if len(m.Additional) == 0 {
+		m.Additional = nil
+	}
+	return nil
+}
+
+func (s *UnpackScratch) unpackRR(u *unpacker) (RR, error) {
+	var rr RR
+	var err error
+	if rr.Name, err = s.name(u); err != nil {
+		return rr, err
+	}
+	var t, c uint16
+	if t, err = u.uint16(); err != nil {
+		return rr, err
+	}
+	if c, err = u.uint16(); err != nil {
+		return rr, err
+	}
+	rr.Type, rr.Class = Type(t), Class(c)
+	if rr.TTL, err = u.uint32(); err != nil {
+		return rr, err
+	}
+	var rdlen uint16
+	if rdlen, err = u.uint16(); err != nil {
+		return rr, err
+	}
+	if rr.Data, err = s.unpackRData(u, rr.Type, int(rdlen)); err != nil {
+		return rr, err
+	}
+	return rr, nil
+}
+
+// unpackRData reads length bytes of RDATA of the given type, interning
+// the boxed result. Unknown types are returned as opaque rawData so
+// messages round-trip. Intern keys are (type, decoded content) — never
+// raw bytes that could contain compression pointers — so identical keys
+// imply identical decoded values across messages.
+func (s *UnpackScratch) unpackRData(u *unpacker, typ Type, length int) (RData, error) {
+	end := u.off + length
+	if end > len(u.msg) {
+		return nil, ErrTruncatedMessage
+	}
+	k := append(s.key[:0], byte(typ>>8), byte(typ))
+	defer func() { s.key = k[:0] }()
+	var (
+		data RData
+		err  error
+	)
+	switch typ {
+	case TypeA:
+		var b []byte
+		if b, err = u.bytes(4); err == nil {
+			k = append(k, b...)
+			data = s.intern(k, func() RData { return AData{Addr: netip.AddrFrom4([4]byte(b))} })
+		}
+	case TypeAAAA:
+		var b []byte
+		if b, err = u.bytes(16); err == nil {
+			k = append(k, b...)
+			data = s.intern(k, func() RData { return AAAAData{Addr: netip.AddrFrom16([16]byte(b))} })
+		}
+	case TypeNS:
+		var host string
+		if host, err = s.name(u); err == nil {
+			k = append(k, host...)
+			data = s.intern(k, func() RData { return NSData{Host: host} })
+		}
+	case TypeCNAME:
+		var target string
+		if target, err = s.name(u); err == nil {
+			k = append(k, target...)
+			data = s.intern(k, func() RData { return CNAMEData{Target: target} })
+		}
+	case TypePTR:
+		var target string
+		if target, err = s.name(u); err == nil {
+			k = append(k, target...)
+			data = s.intern(k, func() RData { return PTRData{Target: target} })
+		}
+	case TypeMX:
+		var pref uint16
+		var exch string
+		if pref, err = u.uint16(); err == nil {
+			if exch, err = s.name(u); err == nil {
+				k = append(k, byte(pref>>8), byte(pref))
+				k = append(k, exch...)
+				data = s.intern(k, func() RData { return MXData{Preference: pref, Exchange: exch} })
+			}
+		}
+	case TypeTXT:
+		// TXT carries no compressible names, so its raw bytes are a sound
+		// content key; validate structure before interning.
+		raw := u.msg[u.off:end]
+		for u.off < end {
+			var n uint8
+			if n, err = u.uint8(); err != nil {
+				break
+			}
+			if _, err = u.bytes(int(n)); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			k = append(k, raw...)
+			data = s.intern(k, func() RData {
+				var ss []string
+				for i := 0; i < len(raw); {
+					n := int(raw[i])
+					ss = append(ss, string(raw[i+1:i+1+n]))
+					i += 1 + n
+				}
+				return TXTData{Strings: ss}
+			})
+		}
+	case TypeOPT:
+		// Skip any EDNS options; only the header fields matter here.
+		// OPTData is zero-sized, so boxing it allocates nothing.
+		if _, err = u.bytes(length); err == nil {
+			data = OPTData{}
+		}
+	case TypeSOA:
+		var mname, rname string
+		if mname, err = s.name(u); err == nil {
+			if rname, err = s.name(u); err == nil {
+				fieldsOff := u.off
+				var fields [5]uint32
+				for i := range fields {
+					if fields[i], err = u.uint32(); err != nil {
+						break
+					}
+				}
+				if err == nil {
+					k = append(k, mname...)
+					k = append(k, 0)
+					k = append(k, rname...)
+					k = append(k, 0)
+					k = append(k, u.msg[fieldsOff:u.off]...)
+					data = s.intern(k, func() RData {
+						return SOAData{
+							MName: mname, RName: rname,
+							Serial: fields[0], Refresh: fields[1], Retry: fields[2],
+							Expire: fields[3], Minimum: fields[4],
+						}
+					})
+				}
+			}
+		}
+	default:
+		var b []byte
+		if b, err = u.bytes(length); err == nil {
+			// rawData copies bytes without interpreting pointers, so raw
+			// content is its identity.
+			k = append(k, b...)
+			data = s.intern(k, func() RData { return rawData{typ: typ, data: append([]byte(nil), b...)} })
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if u.off != end {
+		return nil, fmt.Errorf("%w: rdata length mismatch for %s", ErrBadRData, typ)
+	}
+	return data, nil
+}

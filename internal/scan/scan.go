@@ -42,6 +42,16 @@ type Collector struct {
 	Concurrency int
 }
 
+// Close releases resources held by the collector's resolver (such as
+// the shared DNS transports of an IterativeResolver). Collectors whose
+// resolver holds no sockets (CatalogResolver) are unaffected.
+func (c *Collector) Close() error {
+	if closer, ok := c.Resolver.(interface{ Close() error }); ok {
+		return closer.Close()
+	}
+	return nil
+}
+
 // Target is one domain to measure, with its list rank when known.
 type Target struct {
 	// Name is the registered domain.

@@ -157,9 +157,11 @@ func (w *World) StartDNS(n *netsim.Network, date string) (*DNSInfra, error) {
 	return inf, nil
 }
 
-// serve starts one DNS server bound to addr:53 on the fabric.
+// serve starts one DNS server bound to addr:53 on the fabric. Two UDP
+// workers per simulated authority: the fabric hosts dozens of servers
+// per process, so the default (per-host-sized) pool would oversubscribe.
 func (inf *DNSInfra) serve(n *netsim.Network, addr netip.Addr, cat *dns.Catalog) error {
-	srv, err := dns.NewServer(dns.ServerConfig{Catalog: cat})
+	srv, err := dns.NewServer(dns.ServerConfig{Catalog: cat, UDPWorkers: 2})
 	if err != nil {
 		return err
 	}
