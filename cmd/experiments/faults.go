@@ -1,0 +1,388 @@
+package main
+
+// The -faults mode collects one snapshot from a small simulated corpus
+// that carries every failure class in the taxonomy — refused ports,
+// blackholes, mid-session resets, transient flakes, silent and garbage
+// and TLS-broken servers, coverage gaps, and scripted DNS failures — and
+// writes the resulting health report as FAULTS.json. The committed copy
+// pins the resilient pipeline's behavior: counts per class, retry totals,
+// and breaker opens are all deterministic, so regeneration must
+// reproduce the artifact byte for byte.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"mxmap/internal/dataset"
+	"mxmap/internal/dns"
+	"mxmap/internal/netsim"
+	"mxmap/internal/scan"
+	"mxmap/internal/smtp"
+)
+
+// scriptedResolver fails scripted lookups; the DNS half of the fault
+// matrix. Keys are "MX:<domain>" or "A:<host>"; a negative count fails
+// every call, a positive count fails the first N.
+type scriptedResolver struct {
+	inner dns.Resolver
+
+	mu    sync.Mutex
+	plans map[string]*scriptedPlan
+}
+
+type scriptedPlan struct {
+	failures int
+	err      error
+}
+
+func (r *scriptedResolver) plan(key string, failures int, err error) {
+	if r.plans == nil {
+		r.plans = make(map[string]*scriptedPlan)
+	}
+	r.plans[key] = &scriptedPlan{failures: failures, err: err}
+}
+
+func (r *scriptedResolver) outcome(key string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.plans[key]
+	if p == nil {
+		return nil
+	}
+	if p.failures < 0 {
+		return p.err
+	}
+	if p.failures > 0 {
+		p.failures--
+		return p.err
+	}
+	return nil
+}
+
+func (r *scriptedResolver) LookupMX(ctx context.Context, domain string) ([]dns.MXData, error) {
+	if err := r.outcome("MX:" + domain); err != nil {
+		return nil, err
+	}
+	return r.inner.LookupMX(ctx, domain)
+}
+
+func (r *scriptedResolver) LookupA(ctx context.Context, host string) ([]netip.Addr, error) {
+	if err := r.outcome("A:" + host); err != nil {
+		return nil, err
+	}
+	return r.inner.LookupA(ctx, host)
+}
+
+func (r *scriptedResolver) LookupAAAA(ctx context.Context, host string) ([]netip.Addr, error) {
+	return r.inner.LookupAAAA(ctx, host)
+}
+
+// faultFixture accumulates the simulated corpus and the injected-fault
+// ledger that the report pairs with the measured health.
+type faultFixture struct {
+	net      *netsim.Network
+	cat      *dns.Catalog
+	resolver *scriptedResolver
+	targets  []scan.Target
+	injected map[string]int
+	cleanup  []func()
+}
+
+func (f *faultFixture) inject(label string) { f.injected[label]++ }
+
+func (f *faultFixture) addDomain(name, ip string) (netip.Addr, error) {
+	z := dns.NewZone(name)
+	if err := z.Add(dns.RR{Name: name + ".", Type: dns.TypeMX, TTL: 1,
+		Data: dns.MXData{Preference: 10, Exchange: "mx." + name + "."}}); err != nil {
+		return netip.Addr{}, err
+	}
+	addr := netip.Addr{}
+	if ip != "" {
+		addr = netip.MustParseAddr(ip)
+		if err := z.Add(dns.RR{Name: "mx." + name + ".", Type: dns.TypeA, TTL: 1,
+			Data: dns.AData{Addr: addr}}); err != nil {
+			return netip.Addr{}, err
+		}
+	}
+	f.cat.AddZone(z)
+	f.targets = append(f.targets, scan.Target{Name: name})
+	return addr, nil
+}
+
+func (f *faultFixture) startSMTP(ip, hostname string) error {
+	srv, err := smtp.NewServer(smtp.Config{Hostname: hostname})
+	if err != nil {
+		return err
+	}
+	ln, err := f.net.Listen(netip.MustParseAddrPort(ip + ":25"))
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	f.cleanup = append(f.cleanup, func() { srv.Close() })
+	return nil
+}
+
+func (f *faultFixture) startRaw(ip string, handler func(net.Conn)) error {
+	ln, err := f.net.Listen(netip.MustParseAddrPort(ip + ":25"))
+	if err != nil {
+		return err
+	}
+	f.cleanup = append(f.cleanup, func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				handler(c)
+			}(c)
+		}
+	}()
+	return nil
+}
+
+func (f *faultFixture) close() {
+	for _, fn := range f.cleanup {
+		fn()
+	}
+}
+
+// faultsReport is the FAULTS.json schema: what was injected, what the
+// health report measured.
+type faultsReport struct {
+	Corpus   string          `json:"corpus"`
+	Injected map[string]int  `json:"injected"`
+	Health   *dataset.Health `json:"health"`
+}
+
+// buildFaultFixture assembles the deterministic fault matrix. Every
+// class of the taxonomy appears at least once.
+func buildFaultFixture() (*faultFixture, error) {
+	f := &faultFixture{
+		net:      netsim.New(),
+		cat:      dns.NewCatalog(),
+		injected: make(map[string]int),
+	}
+	f.net.Seed(1)
+	f.resolver = &scriptedResolver{inner: dns.CatalogResolver{Catalog: f.cat}}
+
+	type step struct {
+		label string
+		run   func() error
+	}
+	steps := []step{
+		{"healthy", func() error {
+			for i, ip := range []string{"10.20.0.1", "10.20.0.2", "10.20.0.3", "10.20.0.4"} {
+				name := fmt.Sprintf("healthy%d.test", i+1)
+				if _, err := f.addDomain(name, ip); err != nil {
+					return err
+				}
+				if err := f.startSMTP(ip, "mx."+name); err != nil {
+					return err
+				}
+				f.inject("healthy")
+			}
+			return nil
+		}},
+		{"conn-refused", func() error {
+			if _, err := f.addDomain("refused.test", "10.20.1.1"); err != nil {
+				return err
+			}
+			if err := f.startSMTP("10.20.1.1", "mx.refused.test"); err != nil {
+				return err
+			}
+			f.net.SetFault(netip.MustParseAddr("10.20.1.1"), netsim.FaultRefuse)
+			f.inject("conn-refused")
+			if _, err := f.addDomain("noserver.test", "10.20.1.2"); err != nil {
+				return err
+			}
+			f.inject("conn-refused")
+			return nil
+		}},
+		{"blackhole", func() error {
+			if _, err := f.addDomain("blackhole.test", "10.20.1.3"); err != nil {
+				return err
+			}
+			f.net.SetFault(netip.MustParseAddr("10.20.1.3"), netsim.FaultBlackhole)
+			f.inject("blackhole")
+			return nil
+		}},
+		{"reset", func() error {
+			if _, err := f.addDomain("reset.test", "10.20.1.4"); err != nil {
+				return err
+			}
+			f.net.SetFault(netip.MustParseAddr("10.20.1.4"), netsim.FaultReset)
+			f.inject("conn-reset")
+			return nil
+		}},
+		{"flaky", func() error {
+			if _, err := f.addDomain("flaky.test", "10.20.1.5"); err != nil {
+				return err
+			}
+			if err := f.startSMTP("10.20.1.5", "mx.flaky.test"); err != nil {
+				return err
+			}
+			f.net.SetFlaky(netip.MustParseAddr("10.20.1.5"), 2)
+			f.inject("flaky-recovered")
+			return nil
+		}},
+		{"silent", func() error {
+			if _, err := f.addDomain("silent.test", "10.20.1.6"); err != nil {
+				return err
+			}
+			f.inject("silent-after-accept")
+			return f.startRaw("10.20.1.6", func(c net.Conn) {
+				buf := make([]byte, 1)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			})
+		}},
+		{"garbage", func() error {
+			if _, err := f.addDomain("garbage.test", "10.20.1.7"); err != nil {
+				return err
+			}
+			f.inject("garbage-greeting")
+			return f.startRaw("10.20.1.7", func(c net.Conn) {
+				fmt.Fprintf(c, "999 not an smtp server\r\n")
+			})
+		}},
+		{"brokentls", func() error {
+			if _, err := f.addDomain("brokentls.test", "10.20.1.8"); err != nil {
+				return err
+			}
+			f.inject("broken-starttls")
+			return f.startRaw("10.20.1.8", func(c net.Conn) {
+				br := bufio.NewReader(c)
+				fmt.Fprintf(c, "220 mx.brokentls.test ESMTP\r\n")
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					verb := strings.ToUpper(strings.TrimSpace(line))
+					switch {
+					case strings.HasPrefix(verb, "EHLO"):
+						fmt.Fprintf(c, "250-mx.brokentls.test\r\n250 STARTTLS\r\n")
+					case verb == "STARTTLS":
+						fmt.Fprintf(c, "220 go ahead\r\n")
+						return
+					case verb == "QUIT":
+						fmt.Fprintf(c, "221 bye\r\n")
+						return
+					default:
+						fmt.Fprintf(c, "250 ok\r\n")
+					}
+				}
+			})
+		}},
+		{"uncovered", func() error {
+			if _, err := f.addDomain("uncovered.test", "10.20.1.9"); err != nil {
+				return err
+			}
+			if err := f.startSMTP("10.20.1.9", "mx.uncovered.test"); err != nil {
+				return err
+			}
+			f.inject("not-covered")
+			return nil
+		}},
+		{"dns", func() error {
+			f.cat.AddZone(dns.NewZone("nxdomain.test"))
+			f.targets = append(f.targets, scan.Target{Name: "gone.nxdomain.test"})
+			f.inject("nxdomain")
+			if _, err := f.addDomain("dnstimeout.test", "10.20.2.1"); err != nil {
+				return err
+			}
+			f.resolver.plan("MX:dnstimeout.test", -1, context.DeadlineExceeded)
+			f.inject("dns-timeout")
+			if _, err := f.addDomain("dnsservfail.test", "10.20.2.2"); err != nil {
+				return err
+			}
+			f.resolver.plan("MX:dnsservfail.test", -1, fmt.Errorf("lookup: %w", dns.ErrServFail))
+			f.inject("dns-servfail")
+			if _, err := f.addDomain("dnsflaky.test", "10.20.2.3"); err != nil {
+				return err
+			}
+			if err := f.startSMTP("10.20.2.3", "mx.dnsflaky.test"); err != nil {
+				return err
+			}
+			f.resolver.plan("MX:dnsflaky.test", 1, context.DeadlineExceeded)
+			f.inject("dns-flaky-recovered")
+			if _, err := f.addDomain("dnsbroken.test", "10.20.2.4"); err != nil {
+				return err
+			}
+			f.resolver.plan("A:mx.dnsbroken.test", -1, context.DeadlineExceeded)
+			f.inject("dns-broken-exchange")
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if err := s.run(); err != nil {
+			f.close()
+			return nil, fmt.Errorf("faults: %s: %w", s.label, err)
+		}
+	}
+	return f, nil
+}
+
+// runFaults executes the fault-matrix collection and writes FAULTS.json
+// (or prints it when no output directory is given).
+func runFaults(outDir string) error {
+	f, err := buildFaultFixture()
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	uncovered := netip.MustParseAddr("10.20.1.9")
+	col := &scan.Collector{
+		Resolver:    f.resolver,
+		Dialer:      f.net,
+		Covered:     func(a netip.Addr) bool { return a != uncovered },
+		ScanTimeout: 200 * time.Millisecond,
+		Retry: &scan.RetryPolicy{
+			Attempts:    3,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  50 * time.Millisecond,
+		},
+	}
+	start := time.Now()
+	snap, err := col.Collect(context.Background(), "faults", "chaos", f.targets)
+	if err != nil {
+		return err
+	}
+	report := faultsReport{
+		Corpus:   "faults",
+		Injected: f.injected,
+		Health:   snap.Health(),
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outDir == "" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	writeArtifact(outDir, "FAULTS.json", func(out *os.File) error {
+		_, err := out.Write(buf)
+		return err
+	})
+	fmt.Fprintf(os.Stderr, "fault matrix collected in %v: %d domains, health written to %s/FAULTS.json\n",
+		time.Since(start).Round(time.Millisecond), len(f.targets), outDir)
+	return nil
+}

@@ -41,9 +41,16 @@ func main() {
 		sample      = flag.Int("sample", 200, "Figure 4 sample size per corpus variant")
 		parallelism = flag.Int("parallelism", 0, "inference/collection worker count (0 = GOMAXPROCS, 1 = serial)")
 		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline and DNS data plane, writing BENCH_infer.json and BENCH_dns.json instead of regenerating artifacts")
+		faults      = flag.Bool("faults", false, "collect a deterministic fault-matrix corpus and write the health report as FAULTS.json instead of regenerating artifacts")
 	)
 	flag.Parse()
 
+	if *faults {
+		if err := runFaults(*outDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *runBench {
 		if err := runInferBench(*outDir, *parallelism); err != nil {
 			log.Fatal(err)

@@ -19,6 +19,8 @@ import (
 	"log"
 	"net/netip"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"mxmap/internal/dataset"
@@ -34,6 +36,7 @@ func main() {
 		date      = flag.String("date", "2021-06", "snapshot date label")
 		out       = flag.String("o", "", "output file (default stdout)")
 		iterative = flag.Bool("iterative", false, "resolve through a fully delegated DNS hierarchy (root -> TLD -> authoritative) instead of the in-memory catalog")
+		health    = flag.Bool("health", false, "print the collection health report (failure classes, coverage, retry and breaker counters) and, with -o, write it as <out>.health.json")
 	)
 	flag.Parse()
 
@@ -67,8 +70,41 @@ func main() {
 	} else if _, err := snap.WriteTo(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+	if *health {
+		h := snap.Health()
+		// The per-record dataset goes to stdout; the health summary is
+		// operator-facing and goes to stderr so pipelines stay clean.
+		if err := h.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		if *out != "" {
+			hp := healthPath(*out)
+			f, err := os.Create(hp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := h.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "health report written to %s\n", hp)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "measured %d domains, %d IPs in %v\n",
 		len(snap.Domains), len(snap.IPs), time.Since(start).Round(time.Millisecond))
+}
+
+// healthPath derives the health report's path from the dataset's:
+// snap.jsonl and snap.jsonl.gz both map to snap.health.json.
+func healthPath(out string) string {
+	base := strings.TrimSuffix(out, ".gz")
+	if ext := filepath.Ext(base); ext != "" {
+		base = strings.TrimSuffix(base, ext)
+	}
+	return base + ".health.json"
 }
 
 // iterativeSnapshot measures the corpus resolving through the world's

@@ -29,6 +29,10 @@ type MXObs struct {
 	Exchange string `json:"exchange"`
 	// Addrs are the IPv4 addresses Exchange resolved to (may be empty).
 	Addrs []netip.Addr `json:"addrs,omitempty"`
+	// Failure classifies the exchange's address resolution. In-memory
+	// only: per-record classes feed Snapshot.Health, which is what gets
+	// serialized, keeping the JSONL byte format stable.
+	Failure FailureClass `json:"-"`
 }
 
 // DomainRecord is one domain's DNS observation in a snapshot.
@@ -42,6 +46,9 @@ type DomainRecord struct {
 	// SPF is the domain's published v=spf1 policy, when one exists —
 	// collected for the eventual-provider extension (paper §3.4).
 	SPF string `json:"spf,omitempty"`
+	// Failure classifies the domain's MX lookup (in-memory only; see
+	// MXObs.Failure).
+	Failure FailureClass `json:"-"`
 }
 
 // PrimaryMX returns the most-preferred MX records: all records sharing
@@ -85,6 +92,10 @@ type ScanInfo struct {
 	CertFingerprint string `json:"cert_fp,omitempty"`
 	// CertNames holds the leaf's subject CN (first) and SANs.
 	CertNames []string `json:"cert_names,omitempty"`
+	// TLSFailed reports that STARTTLS was advertised but the upgrade did
+	// not complete — the cert-signal layer must not read this host as
+	// "no STARTTLS" (the paper treats the two differently).
+	TLSFailed bool `json:"tls_failed,omitempty"`
 }
 
 // IPInfo joins routing data and scan data for one address.
@@ -102,6 +113,9 @@ type IPInfo struct {
 	Port25Open bool `json:"port25_open"`
 	// Scan holds the application-layer observation when Port25Open.
 	Scan *ScanInfo `json:"scan,omitempty"`
+	// Failure classifies the scan outcome (in-memory only; see
+	// MXObs.Failure).
+	Failure FailureClass `json:"-"`
 }
 
 // Snapshot is one dated measurement of one corpus.
@@ -114,6 +128,9 @@ type Snapshot struct {
 	Domains []DomainRecord `json:"-"`
 	// IPs indexes scan observations by address string.
 	IPs map[string]IPInfo `json:"-"`
+	// Stats carries the collection run's retry/breaker counters, set by
+	// scan.Collector and folded into Health().
+	Stats CollectionStats `json:"-"`
 
 	// idx is the lazily built derived index (see Index); guarded by idxMu
 	// because concurrent inference runs may share one snapshot.

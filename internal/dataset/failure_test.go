@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestFailureClassTransient(t *testing.T) {
+	transient := map[FailureClass]bool{
+		FailDNSTimeout: true, FailDNSServFail: true,
+		FailConnTimeout: true, FailConnReset: true,
+	}
+	for _, c := range Classes() {
+		if got := c.Transient(); got != transient[c] {
+			t.Errorf("%s: Transient = %v, want %v", c, got, transient[c])
+		}
+	}
+	if FailureClass("").Failed() || FailOK.Failed() {
+		t.Error("ok/unclassified must not count as failed")
+	}
+	if !FailNXDomain.Failed() {
+		t.Error("nxdomain must count as failed")
+	}
+}
+
+func TestSnapshotHealth(t *testing.T) {
+	s := NewSnapshot("2021-06", "alexa")
+	s.AddDomain(DomainRecord{Domain: "a.test", Failure: FailOK, MX: []MXObs{
+		{Exchange: "mx.a.test", Failure: FailOK},
+		{Exchange: "mx.shared.test", Failure: FailOK},
+	}})
+	s.AddDomain(DomainRecord{Domain: "b.test", Failure: FailNXDomain})
+	s.AddDomain(DomainRecord{Domain: "c.test", Failure: FailDNSTimeout})
+	// Shared exchange must count once even when two domains reference it.
+	s.AddDomain(DomainRecord{Domain: "d.test", MX: []MXObs{
+		{Exchange: "mx.shared.test", Failure: FailOK},
+		{Exchange: "mx.dead.test", Failure: FailDNSTimeout},
+	}})
+	s.AddIP(IPInfo{Addr: netip.MustParseAddr("10.0.0.1"), HasCensys: true, Port25Open: true, Failure: FailOK})
+	s.AddIP(IPInfo{Addr: netip.MustParseAddr("10.0.0.2"), HasCensys: true, Failure: FailConnRefused})
+	s.AddIP(IPInfo{Addr: netip.MustParseAddr("10.0.0.3"), Failure: FailNotCovered})
+	s.Stats = CollectionStats{DNSRetries: 2, ScanRetries: 1, BreakerOpens: 1}
+
+	h := s.Health()
+	if h.Domains[FailOK] != 2 || h.Domains[FailNXDomain] != 1 || h.Domains[FailDNSTimeout] != 1 {
+		t.Errorf("domain classes: %v", h.Domains)
+	}
+	if h.Exchanges[FailOK] != 2 || h.Exchanges[FailDNSTimeout] != 1 {
+		t.Errorf("exchange classes: %v", h.Exchanges)
+	}
+	if h.IPs[FailOK] != 1 || h.IPs[FailConnRefused] != 1 || h.IPs[FailNotCovered] != 1 {
+		t.Errorf("ip classes: %v", h.IPs)
+	}
+	if want := 2.0 / 3.0; h.Coverage != want {
+		t.Errorf("coverage = %v, want %v", h.Coverage, want)
+	}
+	if h.Stats != s.Stats {
+		t.Errorf("stats = %+v", h.Stats)
+	}
+
+	var text bytes.Buffer
+	if err := h.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nxdomain", "conn-refused", "not-covered", "dns=2 scan=1"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := h.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Health
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("health JSON round-trip: %v", err)
+	}
+	if back.Domains[FailNXDomain] != 1 || back.Stats.DNSRetries != 2 {
+		t.Errorf("round-tripped health: %+v", back)
+	}
+}
+
+// TestHealthOfLegacySnapshot checks that snapshots without classes (as
+// loaded from pre-taxonomy files) degrade to ok / not-covered buckets.
+func TestHealthOfLegacySnapshot(t *testing.T) {
+	s := NewSnapshot("2021-06", "alexa")
+	s.AddDomain(DomainRecord{Domain: "a.test"})
+	s.AddIP(IPInfo{Addr: netip.MustParseAddr("10.0.0.1"), HasCensys: true})
+	s.AddIP(IPInfo{Addr: netip.MustParseAddr("10.0.0.2")})
+	h := s.Health()
+	if h.Domains[FailOK] != 1 {
+		t.Errorf("domains: %v", h.Domains)
+	}
+	if h.IPs[FailOK] != 1 || h.IPs[FailNotCovered] != 1 {
+		t.Errorf("ips: %v", h.IPs)
+	}
+}
+
+// TestTaxonomyInvisibleInJSONL pins the byte-compatibility contract: the
+// in-memory failure classes must not leak into the serialized snapshot.
+func TestTaxonomyInvisibleInJSONL(t *testing.T) {
+	s := NewSnapshot("2021-06", "alexa")
+	s.AddDomain(DomainRecord{Domain: "a.test", Failure: FailDNSTimeout, MX: []MXObs{
+		{Exchange: "mx.a.test", Failure: FailDNSServFail},
+	}})
+	s.AddIP(IPInfo{Addr: netip.MustParseAddr("10.0.0.1"), HasCensys: true, Failure: FailConnReset})
+	s.Stats = CollectionStats{DNSRetries: 9}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"fail", "retries", "dns-", "conn-", "breaker", "stats"} {
+		if strings.Contains(buf.String(), banned) {
+			t.Errorf("serialized snapshot leaks %q:\n%s", banned, buf.String())
+		}
+	}
+	// TLSFailed does serialize (it is an observation, not bookkeeping) —
+	// but only when set.
+	s2 := NewSnapshot("2021-06", "alexa")
+	s2.AddIP(IPInfo{Addr: netip.MustParseAddr("10.0.0.1"), HasCensys: true, Port25Open: true,
+		Scan: &ScanInfo{Banner: "x", STARTTLS: true}})
+	buf.Reset()
+	if _, err := s2.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "tls_failed") {
+		t.Error("tls_failed serialized despite being false")
+	}
+	s2.AddIP(IPInfo{Addr: netip.MustParseAddr("10.0.0.1"), HasCensys: true, Port25Open: true,
+		Scan: &ScanInfo{Banner: "x", STARTTLS: true, TLSFailed: true}})
+	buf.Reset()
+	if _, err := s2.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var roundtrip *Snapshot
+	roundtrip, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := roundtrip.IP(netip.MustParseAddr("10.0.0.1"))
+	if info.Scan == nil || !info.Scan.TLSFailed {
+		t.Errorf("TLSFailed lost in round-trip: %+v", info.Scan)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,7 +56,14 @@ type Client struct {
 
 	mu  sync.Mutex
 	rng *rand.Rand
+
+	retries atomic.Int64
 }
+
+// RetryCount reports the total number of UDP retry attempts the client
+// has made (attempts beyond the first per exchange). It grows when the
+// network drops queries or responses — the observable of backoff tests.
+func (c *Client) RetryCount() int64 { return c.retries.Load() }
 
 // NewClient returns a Client querying the given server with defaults.
 func NewClient(server string) *Client {
@@ -118,6 +126,7 @@ func (c *Client) Exchange(ctx context.Context, name string, typ Type) (*Message,
 			if err := c.sleep(ctx, c.retryDelay(i)); err != nil {
 				return nil, err
 			}
+			c.retries.Add(1)
 		}
 		var resp *Message
 		if c.Transport != nil {

@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChaosFlakyDial checks FaultFlaky semantics: exactly the first N
+// dials fail with a reset-class error, later dials reach the listener.
+func TestChaosFlakyDial(t *testing.T) {
+	n := New()
+	ap := netip.MustParseAddrPort("10.9.0.1:25")
+	ln, err := n.Listen(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	n.SetFlaky(ap.Addr(), 2)
+	for i := 0; i < 2; i++ {
+		_, err := n.Dial(context.Background(), ap)
+		if err == nil {
+			t.Fatalf("flaky dial %d succeeded", i)
+		}
+		if !errors.Is(err, ErrConnReset) || !errors.Is(err, syscall.ECONNRESET) {
+			t.Fatalf("flaky dial %d: error %v not reset-classed", i, err)
+		}
+	}
+	conn, err := n.Dial(context.Background(), ap)
+	if err != nil {
+		t.Fatalf("dial after flaky window: %v", err)
+	}
+	conn.Close()
+}
+
+// TestChaosResetConn checks FaultReset: the dial succeeds, then every
+// read and write reports a connection reset.
+func TestChaosResetConn(t *testing.T) {
+	n := New()
+	ap := netip.MustParseAddrPort("10.9.0.2:25")
+	n.SetFault(ap.Addr(), FaultReset)
+	conn, err := n.Dial(context.Background(), ap)
+	if err != nil {
+		t.Fatalf("reset-fault dial must succeed, got %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("EHLO")); !errors.Is(err, ErrConnReset) {
+		t.Errorf("write error = %v, want reset", err)
+	}
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); !errors.Is(err, syscall.ECONNRESET) {
+		t.Errorf("read error = %v, want reset", err)
+	}
+	conn.Close()
+	if _, err := conn.Read(buf); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("read after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestChaosLinkLatencyJitter checks that per-address latency delays only
+// the configured address and stays within [latency, latency+jitter].
+func TestChaosLinkLatencyJitter(t *testing.T) {
+	n := New()
+	n.Seed(7)
+	slow := netip.MustParseAddrPort("10.9.0.3:25")
+	fast := netip.MustParseAddrPort("10.9.0.4:25")
+	for _, ap := range []netip.AddrPort{slow, fast} {
+		ln, err := n.Listen(ap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+	}
+	const base, jitter = 30 * time.Millisecond, 30 * time.Millisecond
+	n.SetLinkLatency(slow.Addr(), base, jitter)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		conn, err := n.Dial(context.Background(), slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+		if d := time.Since(start); d < base || d > base+jitter+50*time.Millisecond {
+			t.Errorf("slow dial took %v, want within [%v, %v+slack]", d, base, base+jitter)
+		}
+	}
+	start := time.Now()
+	conn, err := n.Dial(context.Background(), fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("unconfigured address delayed by %v", d)
+	}
+	// A cancelled context aborts the latency sleep promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := n.Dial(ctx, slow); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("latency sleep ignored context: %v", err)
+	}
+}
+
+// TestChaosUDPLoss checks that the configured drop probability applies
+// (seeded, so the observed drop count is reproducible) and that TCP-only
+// faults like FaultReset do not black-hole datagrams.
+func TestChaosUDPLoss(t *testing.T) {
+	n := New()
+	n.Seed(42)
+	server := netip.MustParseAddrPort("10.9.0.5:53")
+	spc, err := n.ListenPacket(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spc.Close()
+	var (
+		mu       sync.Mutex
+		received int
+	)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, _, err := spc.ReadFrom(buf); err != nil {
+				return
+			}
+			mu.Lock()
+			received++
+			mu.Unlock()
+		}
+	}()
+
+	cpc, err := n.ListenPacket(netip.MustParseAddrPort("10.9.0.6:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpc.Close()
+	dst := &net.UDPAddr{IP: server.Addr().AsSlice(), Port: int(server.Port())}
+
+	n.SetUDPLoss(server.Addr(), 0.5)
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		if _, err := cpc.WriteTo([]byte(fmt.Sprintf("dg-%d", i)), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	got := received
+	mu.Unlock()
+	if got == 0 || got == sent {
+		t.Fatalf("received %d/%d datagrams at p=0.5 loss; loss not applied", got, sent)
+	}
+	if got < sent/4 || got > sent*3/4 {
+		t.Errorf("received %d/%d datagrams, far from p=0.5", got, sent)
+	}
+
+	// Reset-faulted addresses still pass datagrams (RST is a TCP affair).
+	n.SetUDPLoss(server.Addr(), 0)
+	n.SetFault(server.Addr(), FaultReset)
+	mu.Lock()
+	received = 0
+	mu.Unlock()
+	for i := 0; i < 10; i++ {
+		if _, err := cpc.WriteTo([]byte("x"), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	got = received
+	mu.Unlock()
+	if got != 10 {
+		t.Errorf("reset-faulted address dropped datagrams: %d/10", got)
+	}
+}
+
+// TestChaosBlackholeStillDropsUDP pins the pre-existing contract after
+// the fault-state refactor: blackholed and refused addresses eat
+// datagrams silently.
+func TestChaosBlackholeStillDropsUDP(t *testing.T) {
+	n := New()
+	server := netip.MustParseAddrPort("10.9.0.7:53")
+	spc, err := n.ListenPacket(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spc.Close()
+	cpc, err := n.ListenPacket(netip.MustParseAddrPort("10.9.0.8:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpc.Close()
+	n.SetFault(server.Addr(), FaultBlackhole)
+	dst := &net.UDPAddr{IP: server.Addr().AsSlice(), Port: int(server.Port())}
+	if _, err := cpc.WriteTo([]byte("x"), dst); err != nil {
+		t.Fatal(err)
+	}
+	spc.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	if _, _, err := spc.ReadFrom(make([]byte, 16)); err == nil {
+		t.Error("datagram delivered through a blackhole")
+	}
+}

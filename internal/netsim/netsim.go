@@ -14,9 +14,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"net/netip"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -32,17 +34,51 @@ const (
 	// FaultBlackhole simulates packet loss: dials hang until the context
 	// expires, like an unresponsive or firewalled host.
 	FaultBlackhole
+	// FaultReset simulates a host that accepts the TCP handshake and then
+	// sends RST: dials succeed but every subsequent read or write fails
+	// with a connection-reset error.
+	FaultReset
+	// FaultFlaky simulates a transiently failing host: the first N dials
+	// (configured with SetFlaky) fail with a connection reset, later
+	// dials proceed normally. This is the fault retry logic must beat.
+	FaultFlaky
 )
+
+// sysError is a fabric error that also matches the equivalent syscall
+// errno under errors.Is, so protocol clients can classify simulated and
+// real network failures with one code path.
+type sysError struct {
+	msg string
+	sys error
+}
+
+func (e *sysError) Error() string { return e.msg }
+
+// Is reports a match against the equivalent real-network error.
+func (e *sysError) Is(target error) bool { return target == e.sys }
 
 // Errors returned by the fabric.
 var (
-	// ErrConnRefused reports a dial to a port with no listener.
-	ErrConnRefused = errors.New("netsim: connection refused")
+	// ErrConnRefused reports a dial to a port with no listener. It
+	// matches syscall.ECONNREFUSED under errors.Is.
+	ErrConnRefused error = &sysError{"netsim: connection refused", syscall.ECONNREFUSED}
+	// ErrConnReset reports a connection torn down mid-session (FaultReset,
+	// FaultFlaky). It matches syscall.ECONNRESET under errors.Is.
+	ErrConnReset error = &sysError{"netsim: connection reset by peer", syscall.ECONNRESET}
 	// ErrAddrInUse reports a duplicate Listen.
 	ErrAddrInUse = errors.New("netsim: address in use")
 	// ErrNetClosed reports use of a closed listener.
 	ErrNetClosed = errors.New("netsim: listener closed")
 )
+
+// linkState is the per-address fault and link-quality configuration.
+type linkState struct {
+	mode      Fault
+	flakyLeft int           // FaultFlaky: failing dials remaining
+	latency   time.Duration // extra one-way setup delay for this address
+	jitter    time.Duration // uniform random addition to latency
+	udpLoss   float64       // probability a datagram to/from addr is dropped
+}
 
 // A Network is a fabric of listeners addressable by IPv4 address and port.
 // The zero value is not usable; call New.
@@ -52,7 +88,10 @@ type Network struct {
 
 	mu        sync.RWMutex
 	listeners map[netip.AddrPort]*Listener
-	faults    map[netip.Addr]Fault
+	links     map[netip.Addr]*linkState
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	udpMu    sync.Mutex
 	udpConns map[netip.AddrPort]*PacketConn
@@ -62,26 +101,133 @@ type Network struct {
 func New() *Network {
 	return &Network{
 		listeners: make(map[netip.AddrPort]*Listener),
-		faults:    make(map[netip.Addr]Fault),
+		links:     make(map[netip.Addr]*linkState),
 	}
+}
+
+// Seed makes the fabric's randomness (latency jitter, UDP loss)
+// deterministic, so chaos tests are reproducible. Without it the fabric
+// seeds itself randomly on first use.
+func (n *Network) Seed(seed uint64) {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	n.rng = rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// random returns a uniform float64 in [0,1) from the fabric's rng.
+func (n *Network) random() float64 {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+	}
+	return n.rng.Float64()
+}
+
+// link returns the linkState for addr, creating it when make is set.
+// Callers must hold n.mu.
+func (n *Network) link(addr netip.Addr, create bool) *linkState {
+	st := n.links[addr]
+	if st == nil && create {
+		st = &linkState{}
+		n.links[addr] = st
+	}
+	return st
 }
 
 // SetFault configures the failure mode for every port of addr.
 func (n *Network) SetFault(addr netip.Addr, f Fault) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if f == FaultNone {
-		delete(n.faults, addr)
-		return
+	st := n.link(addr, true)
+	st.mode = f
+	if f != FaultFlaky {
+		st.flakyLeft = 0
 	}
-	n.faults[addr] = f
 }
 
-// fault returns the configured failure mode for addr.
+// SetFlaky makes the first `failures` dials to addr fail with a
+// connection reset; subsequent dials proceed normally. It models the
+// transient faults a retry policy is meant to absorb.
+func (n *Network) SetFlaky(addr netip.Addr, failures int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.link(addr, true)
+	st.mode = FaultFlaky
+	st.flakyLeft = failures
+}
+
+// SetLinkLatency adds a per-address connection setup delay of
+// latency + U[0,jitter), on top of the fabric-wide Latency.
+func (n *Network) SetLinkLatency(addr netip.Addr, latency, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.link(addr, true)
+	st.latency, st.jitter = latency, jitter
+}
+
+// SetUDPLoss sets the probability in [0,1] that any datagram sent to or
+// from addr is silently dropped.
+func (n *Network) SetUDPLoss(addr netip.Addr, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.link(addr, true).udpLoss = p
+}
+
+// fault returns the effective failure mode for one dial to addr,
+// consuming a flaky-failure token when one applies.
+func (n *Network) dialFault(addr netip.Addr) Fault {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.link(addr, false)
+	if st == nil {
+		return FaultNone
+	}
+	if st.mode == FaultFlaky {
+		if st.flakyLeft > 0 {
+			st.flakyLeft--
+			return FaultFlaky
+		}
+		return FaultNone
+	}
+	return st.mode
+}
+
+// fault returns the configured (non-consuming) failure mode for addr.
 func (n *Network) fault(addr netip.Addr) Fault {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return n.faults[addr]
+	if st := n.links[addr]; st != nil {
+		return st.mode
+	}
+	return FaultNone
+}
+
+// setupDelay returns the total simulated connection setup delay for addr.
+func (n *Network) setupDelay(addr netip.Addr) time.Duration {
+	d := n.Latency
+	n.mu.RLock()
+	st := n.links[addr]
+	var extra, jitter time.Duration
+	if st != nil {
+		extra, jitter = st.latency, st.jitter
+	}
+	n.mu.RUnlock()
+	d += extra
+	if jitter > 0 {
+		d += time.Duration(n.random() * float64(jitter))
+	}
+	return d
+}
+
+// udpLoss returns the drop probability configured for addr.
+func (n *Network) udpLoss(addr netip.Addr) float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if st := n.links[addr]; st != nil {
+		return st.udpLoss
+	}
+	return 0
 }
 
 // Listen binds a listener to ip:port. Unlike net.Listen, port 0 is not
@@ -111,15 +257,20 @@ func (n *Network) Listen(ap netip.AddrPort) (*Listener, error) {
 // Dial connects to ip:port on the fabric, honoring ctx for cancellation
 // and simulated faults for the destination address.
 func (n *Network) Dial(ctx context.Context, ap netip.AddrPort) (net.Conn, error) {
-	switch n.fault(ap.Addr()) {
+	switch n.dialFault(ap.Addr()) {
 	case FaultRefuse:
 		return nil, fmt.Errorf("%w: %s (fault)", ErrConnRefused, ap)
 	case FaultBlackhole:
 		<-ctx.Done()
 		return nil, fmt.Errorf("netsim: dial %s: %w", ap, ctx.Err())
+	case FaultFlaky:
+		return nil, fmt.Errorf("%w: dial %s (flaky)", ErrConnReset, ap)
+	case FaultReset:
+		// The handshake completes; the connection is dead on arrival.
+		return newResetConn(ap), nil
 	}
-	if n.Latency > 0 {
-		t := time.NewTimer(n.Latency)
+	if d := n.setupDelay(ap.Addr()); d > 0 {
+		t := time.NewTimer(d)
 		select {
 		case <-t.C:
 		case <-ctx.Done():
@@ -218,6 +369,42 @@ var ephemeral struct {
 	mu   sync.Mutex
 	next uint16
 }
+
+// resetConn is the client end of a FaultReset dial: the TCP handshake
+// "succeeded", but the peer RSTs everything after it. Every read and
+// write fails with a connection-reset error.
+type resetConn struct {
+	local, remote net.Addr
+	closeOnce     sync.Once
+	done          chan struct{}
+}
+
+func newResetConn(ap netip.AddrPort) *resetConn {
+	return &resetConn{local: ephemeralAddr(), remote: tcpAddr(ap), done: make(chan struct{})}
+}
+
+func (c *resetConn) Read(p []byte) (int, error)  { return 0, c.err("read") }
+func (c *resetConn) Write(p []byte) (int, error) { return 0, c.err("write") }
+
+func (c *resetConn) err(op string) error {
+	select {
+	case <-c.done:
+		return net.ErrClosed
+	default:
+		return fmt.Errorf("netsim: %s %s: %w", op, c.remote, ErrConnReset)
+	}
+}
+
+func (c *resetConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return nil
+}
+
+func (c *resetConn) LocalAddr() net.Addr              { return c.local }
+func (c *resetConn) RemoteAddr() net.Addr             { return c.remote }
+func (c *resetConn) SetDeadline(time.Time) error      { return nil }
+func (c *resetConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *resetConn) SetWriteDeadline(time.Time) error { return nil }
 
 // ephemeralAddr fabricates a unique client-side address for connection
 // identity in logs.

@@ -124,8 +124,16 @@ func (pc *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if pc.network.fault(dst.Addr()) != FaultNone {
-		return len(p), nil // dropped on the floor
+	switch pc.network.fault(dst.Addr()) {
+	case FaultBlackhole, FaultRefuse:
+		return len(p), nil // dropped on the floor (no ICMP in this fabric)
+	}
+	// Probabilistic loss on either endpoint's link.
+	if p1 := pc.network.udpLoss(dst.Addr()); p1 > 0 && pc.network.random() < p1 {
+		return len(p), nil
+	}
+	if p2 := pc.network.udpLoss(pc.addr.Addr()); p2 > 0 && pc.network.random() < p2 {
+		return len(p), nil
 	}
 	pc.network.udpMu.Lock()
 	peer := pc.network.udpConns[dst]

@@ -1,0 +1,80 @@
+package scan
+
+import (
+	"context"
+	"errors"
+	"net"
+	"syscall"
+
+	"mxmap/internal/dataset"
+	"mxmap/internal/dns"
+	"mxmap/internal/smtp"
+)
+
+// ClassifyDNS maps a resolver error to the failure taxonomy. A nil error
+// and ErrNoData both classify as ok: "name exists but has no records of
+// this type" is a definitive observation (the paper's implicit-MX
+// domains), not a collection failure.
+func ClassifyDNS(err error) dataset.FailureClass {
+	switch {
+	case err == nil:
+		return dataset.FailOK
+	case errors.Is(err, dns.ErrNoData):
+		return dataset.FailOK
+	case errors.Is(err, dns.ErrNXDomain):
+		return dataset.FailNXDomain
+	case errors.Is(err, dns.ErrServFail):
+		return dataset.FailDNSServFail
+	case isTimeout(err):
+		return dataset.FailDNSTimeout
+	default:
+		// Unknown resolver trouble (socket errors, malformed responses):
+		// treat like SERVFAIL — transient, worth one more try.
+		return dataset.FailDNSServFail
+	}
+}
+
+// ClassifyScan maps one SMTP scan result to the failure taxonomy.
+func ClassifyScan(res *smtp.ScanResult) dataset.FailureClass {
+	if !res.Connected {
+		switch {
+		case errors.Is(res.Err, syscall.ECONNREFUSED):
+			return dataset.FailConnRefused
+		case errors.Is(res.Err, syscall.ECONNRESET):
+			return dataset.FailConnReset
+		case isTimeout(res.Err):
+			return dataset.FailConnTimeout
+		default:
+			// Unroutable, no route to host, etc.: the host did not answer.
+			return dataset.FailConnTimeout
+		}
+	}
+	if res.Err == nil {
+		return dataset.FailOK
+	}
+	// Connected, then something went wrong. STARTTLS-stage failures are
+	// their own class: the paper distinguishes "no STARTTLS" from
+	// "STARTTLS broken".
+	if res.SupportsSTARTTLS && !res.TLSHandshakeOK {
+		return dataset.FailTLSError
+	}
+	switch {
+	case errors.Is(res.Err, syscall.ECONNRESET):
+		return dataset.FailConnReset
+	case isTimeout(res.Err):
+		return dataset.FailConnTimeout
+	default:
+		// The host spoke, but not valid SMTP: garbage greeting, broken
+		// EHLO, bannerless close.
+		return dataset.FailProtoError
+	}
+}
+
+// isTimeout reports whether err is a deadline-style failure.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mxmap/internal/asn"
 	"mxmap/internal/certs"
@@ -40,6 +42,16 @@ type Collector struct {
 	// Concurrency bounds parallel DNS resolutions and SMTP scans
 	// (default 32).
 	Concurrency int
+	// Retry bounds how transient-classed lookups and scans are retried;
+	// nil uses DefaultRetryPolicy. Use NoRetryPolicy to disable.
+	Retry *RetryPolicy
+	// BreakerThreshold is the number of consecutive hard connection
+	// failures that opens a destination's circuit breaker (default 3;
+	// negative disables breaking).
+	BreakerThreshold int
+	// ScanTimeout bounds one SMTP scan attempt (default 10s, matching
+	// smtp.Scan's own default).
+	ScanTimeout time.Duration
 }
 
 // Close releases resources held by the collector's resolver (such as
@@ -60,64 +72,138 @@ type Target struct {
 	Rank int
 }
 
+// collectRun bundles the per-run resilience state threaded through both
+// collection phases.
+type collectRun struct {
+	retry    *retryState
+	breakers *breakerSet
+
+	dnsRetries  atomic.Int64
+	scanRetries atomic.Int64
+}
+
+// aResult is one exchange's address-resolution outcome.
+type aResult struct {
+	addrs []netip.Addr
+	class dataset.FailureClass
+}
+
+// definitive reports whether the outcome may be cached for the whole
+// snapshot: successes and NXDOMAINs are facts, transient failures are
+// not — memoizing a timed-out lookup as "no addresses" would silently
+// bias every domain sharing the exchange.
+func (r aResult) definitive() bool {
+	return !r.class.Transient()
+}
+
 // Collect measures the given domains and assembles a snapshot labelled
-// with the date and corpus name.
+// with the date and corpus name. Partial failure degrades per record —
+// every DNS and scan outcome is classified on the record rather than
+// dropped — but a cancelled context aborts the whole collection and
+// returns ctx.Err.
 func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []Target) (*dataset.Snapshot, error) {
 	workers := c.Concurrency
 	if workers <= 0 {
 		workers = 32
 	}
 	snap := dataset.NewSnapshot(date, corpus)
+	run := &collectRun{
+		retry:    newRetryState(c.Retry),
+		breakers: newBreakerSet(c.BreakerThreshold),
+	}
 
 	// Phase 1: DNS. Resolve every domain's MX set and every distinct
 	// exchange's A set. Address lookups are deduplicated with
 	// singleflight semantics: the first caller for a host resolves it,
 	// concurrent callers block on that flight's result instead of
-	// issuing duplicate queries for popular exchanges.
+	// issuing duplicate queries for popular exchanges. Only definitive
+	// outcomes are memoized; a transiently failed flight is forgotten so
+	// a later caller (budget permitting) tries again.
 	records := make([]dataset.DomainRecord, len(domains))
 	type aFlight struct {
-		once  sync.Once
-		addrs []netip.Addr
+		done chan struct{}
+		res  aResult
 	}
 	var (
-		aCacheMu sync.Mutex
-		aCache   = make(map[string]*aFlight)
+		aMu      sync.Mutex
+		aCache   = make(map[string]aResult)
+		aFlights = make(map[string]*aFlight)
 	)
-	resolveA := func(host string) []netip.Addr {
-		aCacheMu.Lock()
-		f, ok := aCache[host]
-		if !ok {
-			f = &aFlight{}
-			aCache[host] = f
-		}
-		aCacheMu.Unlock()
-		f.once.Do(func() {
+	lookupAddrs := func(host string) aResult {
+		var res aResult
+		class, retries := run.retry.do(ctx, func() (dataset.FailureClass, bool) {
 			addrs, err := c.Resolver.LookupA(ctx, host)
-			if err != nil {
-				addrs = nil
+			res = aResult{addrs: addrs, class: ClassifyDNS(err)}
+			if res.class.Failed() {
+				res.addrs = nil
+				return res.class, true
 			}
-			// The IPv6 extension: collect AAAA records alongside A.
+			// The IPv6 extension: collect AAAA records alongside A
+			// (best-effort; the A outcome drives retries).
 			if v6, err := c.Resolver.LookupAAAA(ctx, host); err == nil {
-				addrs = append(addrs, v6...)
+				res.addrs = append(res.addrs, v6...)
 			}
-			f.addrs = addrs
+			return res.class, true
 		})
-		return f.addrs
+		res.class = class
+		run.dnsRetries.Add(int64(retries))
+		return res
+	}
+	resolveA := func(host string) aResult {
+		for {
+			aMu.Lock()
+			if res, ok := aCache[host]; ok {
+				aMu.Unlock()
+				return res
+			}
+			if f, ok := aFlights[host]; ok {
+				aMu.Unlock()
+				<-f.done
+				// Concurrent waiters share the flight's outcome even when
+				// transient; only callers arriving after it finished
+				// re-resolve (the flight itself already retried).
+				return f.res
+			}
+			f := &aFlight{done: make(chan struct{})}
+			aFlights[host] = f
+			aMu.Unlock()
+
+			f.res = lookupAddrs(host)
+			aMu.Lock()
+			delete(aFlights, host)
+			if f.res.definitive() {
+				aCache[host] = f.res
+			}
+			aMu.Unlock()
+			close(f.done)
+			return f.res
+		}
 	}
 	txtResolver, hasTXT := c.Resolver.(dns.TXTResolver)
 	parallel.Run(len(domains), workers, func(i int) {
 		rec := dataset.DomainRecord{Domain: domains[i].Name, Rank: domains[i].Rank}
-		mxs, err := c.Resolver.LookupMX(ctx, domains[i].Name)
-		if err == nil {
-			for _, mx := range mxs {
-				rec.MX = append(rec.MX, dataset.MXObs{
-					Preference: mx.Preference,
-					Exchange:   mx.Exchange,
-					Addrs:      resolveA(mx.Exchange),
-				})
-			}
+		if ctx.Err() != nil {
+			records[i] = rec
+			return
 		}
-		if hasTXT {
+		var mxs []dns.MXData
+		class, retries := run.retry.do(ctx, func() (dataset.FailureClass, bool) {
+			var err error
+			mxs, err = c.Resolver.LookupMX(ctx, domains[i].Name)
+			return ClassifyDNS(err), true
+		})
+		rec.Failure = class
+		run.dnsRetries.Add(int64(retries))
+		for _, mx := range mxs {
+			res := resolveA(mx.Exchange)
+			rec.MX = append(rec.MX, dataset.MXObs{
+				Preference: mx.Preference,
+				Exchange:   mx.Exchange,
+				Addrs:      res.addrs,
+				Failure:    res.class,
+			})
+		}
+		if hasTXT && ctx.Err() == nil {
 			if txts, err := txtResolver.LookupTXT(ctx, domains[i].Name); err == nil {
 				for _, txt := range txts {
 					if strings.HasPrefix(strings.ToLower(txt), "v=spf1") {
@@ -129,6 +215,9 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 		}
 		records[i] = rec
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i := range records {
 		snap.AddDomain(records[i])
 	}
@@ -150,16 +239,26 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 
 	infos := make([]dataset.IPInfo, len(addrs))
 	parallel.Run(len(addrs), workers, func(i int) {
-		infos[i] = c.scanIP(ctx, addrs[i])
+		infos[i] = c.scanIP(ctx, run, addrs[i])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, info := range infos {
 		snap.AddIP(info)
+	}
+	snap.Stats = dataset.CollectionStats{
+		DNSRetries:      int(run.dnsRetries.Load()),
+		ScanRetries:     int(run.scanRetries.Load()),
+		BudgetExhausted: run.retry.exhausted.Load(),
+		BreakerOpens:    int(run.breakers.opens.Load()),
+		BreakerSkips:    int(run.breakers.skips.Load()),
 	}
 	return snap, nil
 }
 
 // scanIP produces the IP-level observation for one address.
-func (c *Collector) scanIP(ctx context.Context, addr netip.Addr) dataset.IPInfo {
+func (c *Collector) scanIP(ctx context.Context, run *collectRun, addr netip.Addr) dataset.IPInfo {
 	info := dataset.IPInfo{Addr: addr}
 	if c.Prefixes != nil {
 		if a, ok := c.Prefixes.Lookup(addr); ok {
@@ -172,20 +271,43 @@ func (c *Collector) scanIP(ctx context.Context, addr netip.Addr) dataset.IPInfo 
 		}
 	}
 	if c.Covered != nil && !c.Covered(addr) {
+		info.Failure = dataset.FailNotCovered
 		return info // scanning service blind spot
 	}
 	info.HasCensys = true
+	if ctx.Err() != nil {
+		info.Failure = dataset.FailConnTimeout
+		return info
+	}
+	if ok, tripped := run.breakers.allow(addr); !ok {
+		info.Failure = tripped
+		return info
+	}
 
-	res := smtp.Scan(ctx, netip.AddrPortFrom(addr, 25).String(), smtp.ScanConfig{Dialer: c.Dialer})
+	var res *smtp.ScanResult
+	class, retries := run.retry.do(ctx, func() (dataset.FailureClass, bool) {
+		res = smtp.Scan(ctx, netip.AddrPortFrom(addr, 25).String(),
+			smtp.ScanConfig{Dialer: c.Dialer, Timeout: c.ScanTimeout})
+		cl := ClassifyScan(res)
+		// An opened circuit vetoes further retries of this destination.
+		return cl, !run.breakers.record(addr, cl)
+	})
+	info.Failure = class
+	run.scanRetries.Add(int64(retries))
+
+	// A completed TCP handshake is an open port even when the host then
+	// said nothing useful: "connected but bannerless" must not be
+	// conflated with "port closed".
+	info.Port25Open = res.Connected
 	if !res.Connected || res.Banner == "" {
 		return info
 	}
-	info.Port25Open = true
 	si := &dataset.ScanInfo{
 		Banner:     res.Banner,
 		BannerHost: res.BannerHost,
 		EHLOHost:   res.EHLOHost,
 		STARTTLS:   res.SupportsSTARTTLS,
+		TLSFailed:  res.SupportsSTARTTLS && !res.TLSHandshakeOK,
 	}
 	if len(res.PeerCertificates) > 0 {
 		leaf := res.PeerCertificates[0]

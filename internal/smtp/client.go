@@ -97,6 +97,10 @@ func Scan(ctx context.Context, addr string, cfg ScanConfig) *ScanResult {
 			return res
 		}
 	}
+	// A cancelled context must abort an in-flight read promptly, not
+	// after the scan timeout: expire the connection's deadline on cancel.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stop()
 	res.Connected = true
 
 	rd := newReader(conn)
