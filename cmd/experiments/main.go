@@ -29,6 +29,7 @@ import (
 
 	"mxmap/internal/experiments"
 	"mxmap/internal/report"
+	"mxmap/internal/sigctx"
 	"mxmap/internal/world"
 )
 
@@ -83,7 +84,10 @@ func main() {
 	study.Parallelism = *parallelism
 	fmt.Fprintf(os.Stderr, "world ready in %v (%d hosts)\n", time.Since(start).Round(time.Millisecond), len(study.World.Hosts))
 
-	ctx := context.Background()
+	// A multi-hour artifact regeneration should die gracefully on ^C
+	// (and immediately on a second one).
+	ctx, stopSignals := sigctx.WithInterrupt(context.Background())
+	defer stopSignals()
 	emitTable := func(name string, t *report.Table, err error) {
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)

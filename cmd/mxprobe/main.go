@@ -25,6 +25,7 @@ import (
 
 	"mxmap/internal/dns"
 	"mxmap/internal/psl"
+	"mxmap/internal/sigctx"
 	"mxmap/internal/smtp"
 )
 
@@ -46,7 +47,10 @@ func main() {
 	client.Timeout = *timeout
 	defer client.Close()
 	resolver := dns.ClientResolver{Client: client}
-	ctx := context.Background()
+	// Ctrl-C cancels the probe mid-chain (a second one force-exits);
+	// in-flight DNS queries and SMTP scans unwind promptly.
+	ctx, stop := sigctx.WithInterrupt(context.Background())
+	defer stop()
 
 	if err := probe(ctx, os.Stdout, resolver, domain, uint16(*port), *skipTLS, *timeout); err != nil {
 		log.Fatal(err)

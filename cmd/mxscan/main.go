@@ -7,13 +7,22 @@
 // written by separate mxscan invocations with the same seed are mutually
 // consistent.
 //
+// Collection is crash-safe when a write-ahead journal is enabled: each
+// completed record is appended to the journal as it finishes, SIGINT and
+// SIGTERM cancel the run gracefully (a second signal force-exits), and
+// -resume recovers the journal and re-measures only what is missing.
+// Committed snapshots are written atomically (tmp, fsync, rename).
+//
 // Usage:
 //
 //	mxscan [-scale 0.05] [-seed 1] -corpus alexa -date 2021-06 [-o snap.jsonl]
+//	mxscan -journal snap.waj [-resume] -corpus alexa -date 2021-06 -o snap.jsonl
+//	mxscan -fsck snap.jsonl.gz   # or a journal; validates and exits
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -21,10 +30,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"mxmap/internal/dataset"
 	"mxmap/internal/scan"
+	"mxmap/internal/sigctx"
 	"mxmap/internal/world"
 )
 
@@ -37,8 +48,31 @@ func main() {
 		out       = flag.String("o", "", "output file (default stdout)")
 		iterative = flag.Bool("iterative", false, "resolve through a fully delegated DNS hierarchy (root -> TLD -> authoritative) instead of the in-memory catalog")
 		health    = flag.Bool("health", false, "print the collection health report (failure classes, coverage, retry and breaker counters) and, with -o, write it as <out>.health.json")
+		journal   = flag.String("journal", "", "write-ahead journal path: append each completed record so a crashed run is resumable")
+		resume    = flag.Bool("resume", false, "recover the journal at -journal and skip already-collected records")
+		fsck      = flag.String("fsck", "", "validate the snapshot or journal at this path, print a report, and exit (status 1 unless clean)")
 	)
 	flag.Parse()
+
+	if *fsck != "" {
+		report, err := dataset.Fsck(*fsck)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if !report.Clean {
+			os.Exit(1)
+		}
+		return
+	}
+	if *resume && *journal == "" {
+		log.Fatal("-resume requires -journal")
+	}
+
+	ctx, stop := sigctx.WithInterrupt(context.Background())
+	defer stop()
 
 	start := time.Now()
 	w, err := world.Generate(world.Config{Seed: *seed, Scale: *scale})
@@ -51,24 +85,108 @@ func main() {
 	}
 	defer sess.Close()
 
+	// Journal setup: a fresh run refuses to clobber a leftover journal
+	// (that is resumable state); -resume recovers it, truncates any torn
+	// tail, and feeds the intact records back into the collector.
+	var (
+		jr  *dataset.Journal
+		rec *dataset.JournalRecovery
+	)
+	if *journal != "" {
+		if *resume {
+			jr, rec, err = dataset.ResumeJournal(*journal, *date, *corpus)
+		} else {
+			jr, err = dataset.CreateJournal(*journal, *date, *corpus)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec != nil && rec.Entries > 0 {
+			resumedIPs := 0
+			if rec.Snapshot != nil {
+				resumedIPs = len(rec.Snapshot.IPs)
+			}
+			fmt.Fprintf(os.Stderr, "resuming: %d domains and %d IPs recovered from %s",
+				len(rec.Seen), resumedIPs, *journal)
+			if rec.Truncated {
+				fmt.Fprintf(os.Stderr, " (torn tail discarded: %s)", rec.Reason)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	// ctx wrapper so a journal write error aborts collection instead of
+	// silently producing an unresumable run.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		jerrMu sync.Mutex
+		jerr   error
+	)
+	journalFail := func(err error) {
+		jErrOnce(&jerrMu, &jerr, err)
+		cancel()
+	}
+	configure := func(col *scan.Collector) {
+		if jr != nil {
+			col.OnDomain = func(d *dataset.DomainRecord) {
+				if err := jr.AddDomain(d); err != nil {
+					journalFail(err)
+				}
+			}
+			col.OnIP = func(info *dataset.IPInfo) {
+				if err := jr.AddIP(info); err != nil {
+					journalFail(err)
+				}
+			}
+		}
+		if rec != nil && rec.Snapshot != nil {
+			col.Prior = rec.Snapshot
+			col.Resume(rec.Seen)
+		}
+	}
+
 	var snap *dataset.Snapshot
 	if *iterative {
-		snap, err = iterativeSnapshot(w, sess, *corpus, *date)
+		snap, err = iterativeSnapshot(ctx, w, sess, *corpus, *date, configure)
 	} else {
-		snap, err = sess.Snapshot(context.Background(), *corpus, *date)
+		snap, err = sess.SnapshotWith(ctx, *corpus, *date, configure)
 	}
 	if err != nil {
+		if jr != nil {
+			// Graceful shutdown: flush the journal so the run is
+			// resumable, then report how to resume.
+			if cerr := jr.Close(); cerr != nil {
+				log.Printf("journal close: %v", cerr)
+			}
+			jErrReport(&jerrMu, &jerr)
+			if errors.Is(err, context.Canceled) {
+				log.Fatalf("collection interrupted; journal flushed to %s — rerun with -journal %s -resume", *journal, *journal)
+			}
+		}
 		log.Fatal(err)
 	}
 	snap.SortDomains()
 
 	if *out != "" {
-		// ".gz" suffixed paths are compressed transparently.
+		// Atomic commit: ".gz" suffixed paths are compressed transparently.
 		if err := dataset.WriteFile(*out, snap); err != nil {
 			log.Fatal(err)
 		}
 	} else if _, err := snap.WriteTo(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+	if jr != nil {
+		// The snapshot is committed; the journal has served its purpose.
+		if err := jr.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+		}
+		if *out != "" {
+			if err := os.Remove(*journal); err != nil {
+				log.Printf("journal remove: %v", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "snapshot committed; journal %s removed\n", *journal)
+			}
+		}
 	}
 	if *health {
 		h := snap.Health()
@@ -97,6 +215,24 @@ func main() {
 		len(snap.Domains), len(snap.IPs), time.Since(start).Round(time.Millisecond))
 }
 
+// jErrOnce records the first journal error.
+func jErrOnce(mu *sync.Mutex, dst *error, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if *dst == nil {
+		*dst = err
+	}
+}
+
+// jErrReport logs the recorded journal error, if any.
+func jErrReport(mu *sync.Mutex, src *error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if *src != nil {
+		log.Printf("journal write: %v", *src)
+	}
+}
+
 // healthPath derives the health report's path from the dataset's:
 // snap.jsonl and snap.jsonl.gz both map to snap.health.json.
 func healthPath(out string) string {
@@ -109,7 +245,7 @@ func healthPath(out string) string {
 
 // iterativeSnapshot measures the corpus resolving through the world's
 // delegated DNS hierarchy served on the fabric — the wire-faithful path.
-func iterativeSnapshot(w *world.World, sess *scan.WorldSession, corpusName, date string) (*dataset.Snapshot, error) {
+func iterativeSnapshot(ctx context.Context, w *world.World, sess *scan.WorldSession, corpusName, date string, configure func(*scan.Collector)) (*dataset.Snapshot, error) {
 	corpus := w.Corpus(corpusName)
 	if corpus == nil {
 		return nil, fmt.Errorf("unknown corpus %q", corpusName)
@@ -139,9 +275,12 @@ func iterativeSnapshot(w *world.World, sess *scan.WorldSession, corpusName, date
 		},
 	}
 	defer col.Close()
+	if configure != nil {
+		configure(col)
+	}
 	targets := make([]scan.Target, len(corpus.Domains))
 	for i, d := range corpus.Domains {
 		targets[i] = scan.Target{Name: d.Name, Rank: d.Rank}
 	}
-	return col.Collect(context.Background(), corpusName, date, targets)
+	return col.Collect(ctx, corpusName, date, targets)
 }

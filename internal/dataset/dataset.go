@@ -226,6 +226,20 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 
 // Read parses a snapshot from the JSONL form written by WriteTo.
 func Read(r io.Reader) (*Snapshot, error) {
+	return readNamed(r, "")
+}
+
+// readNamed is Read with a source name (usually a file path) woven into
+// error messages, so "unexpected EOF" from a truncated gzip stream
+// arrives as "dataset: <path>: line N: unexpected EOF" instead of a bare
+// error with no idea where the damage is.
+func readNamed(r io.Reader, name string) (*Snapshot, error) {
+	where := func(lineno int) string {
+		if name == "" {
+			return fmt.Sprintf("dataset: line %d", lineno)
+		}
+		return fmt.Sprintf("dataset: %s: line %d", name, lineno)
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 	var s *Snapshot
@@ -237,35 +251,40 @@ func Read(r io.Reader) (*Snapshot, error) {
 		}
 		var line jsonLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", lineno, err)
+			return nil, fmt.Errorf("%s: %w", where(lineno), err)
 		}
 		switch line.Kind {
 		case "snapshot":
 			if s != nil {
-				return nil, fmt.Errorf("dataset: line %d: duplicate header", lineno)
+				return nil, fmt.Errorf("%s: duplicate header", where(lineno))
 			}
 			if line.Header == nil {
-				return nil, fmt.Errorf("dataset: line %d: header line without header", lineno)
+				return nil, fmt.Errorf("%s: header line without header", where(lineno))
 			}
 			s = NewSnapshot(line.Header.Date, line.Header.Corpus)
 		case "domain":
 			if s == nil || line.Domain == nil {
-				return nil, fmt.Errorf("dataset: line %d: domain before header", lineno)
+				return nil, fmt.Errorf("%s: domain before header", where(lineno))
 			}
 			s.AddDomain(*line.Domain)
 		case "ip":
 			if s == nil || line.IP == nil {
-				return nil, fmt.Errorf("dataset: line %d: ip before header", lineno)
+				return nil, fmt.Errorf("%s: ip before header", where(lineno))
 			}
 			s.AddIP(*line.IP)
 		default:
-			return nil, fmt.Errorf("dataset: line %d: unknown kind %q", lineno, line.Kind)
+			return nil, fmt.Errorf("%s: unknown kind %q", where(lineno), line.Kind)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner surfaces stream-level damage (truncated gzip,
+		// oversize line) after the last intact line.
+		return nil, fmt.Errorf("%s: %w", where(lineno+1), err)
 	}
 	if s == nil {
+		if name != "" {
+			return nil, fmt.Errorf("dataset: %s: empty input", name)
+		}
 		return nil, fmt.Errorf("dataset: empty input")
 	}
 	return s, nil

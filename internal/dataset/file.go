@@ -5,37 +5,84 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
 // WriteFile stores a snapshot at path in JSONL form, gzip-compressed when
 // the path ends in ".gz". Corpus-scale snapshots compress roughly 10x.
-func WriteFile(path string, s *Snapshot) (err error) {
-	f, err := os.Create(path)
+//
+// The commit is atomic and durable: the snapshot is written to
+// "<path>.tmp", fsync'd, renamed over path, and the directory fsync'd.
+// A crash at any point leaves either the old committed file or the new
+// one at path — never a truncated half-gzipped hybrid.
+func WriteFile(path string, s *Snapshot) error {
+	return atomicWrite(path, func(w io.Writer) error {
+		_, err := s.WriteTo(w)
+		return err
+	})
+}
+
+// atomicWrite commits write's output at path with tmp+fsync+rename
+// semantics. On any error the temporary file is removed and path is
+// untouched.
+func atomicWrite(path string, write func(w io.Writer) error) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
+	committed := false
 	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if !committed {
+			f.Close()
+			os.Remove(tmp)
 		}
 	}()
 	var w io.Writer = f
+	var zw *gzip.Writer
 	if strings.HasSuffix(path, ".gz") {
-		zw := gzip.NewWriter(f)
-		defer func() {
-			if cerr := zw.Close(); err == nil {
-				err = cerr
-			}
-		}()
+		zw = gzip.NewWriter(f)
 		w = zw
 	}
-	_, err = s.WriteTo(w)
+	if err := write(w); err != nil {
+		return fmt.Errorf("dataset: write %s: %w", tmp, err)
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("dataset: write %s: %w", tmp, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	committed = true
+	// The rename itself must survive a crash: fsync the directory.
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
 // ReadFile loads a snapshot written by WriteFile, transparently
-// decompressing ".gz" paths.
+// decompressing ".gz" paths. Read errors carry path and line context so
+// damage (for example a truncated gzip stream) is locatable.
 func ReadFile(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -51,5 +98,5 @@ func ReadFile(path string) (*Snapshot, error) {
 		defer zr.Close()
 		r = zr
 	}
-	return Read(r)
+	return readNamed(r, path)
 }

@@ -1,9 +1,14 @@
 package dataset
 
 import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -46,5 +51,107 @@ func TestReadFileErrors(t *testing.T) {
 	}
 	if _, err := ReadFile(path); err == nil {
 		t.Error("bad gzip read succeeded")
+	}
+}
+
+// brokenWriter fails after passing through n bytes — the injected
+// failing writer for the atomic-commit path.
+type brokenWriter struct {
+	w    io.Writer
+	left int
+	err  error
+}
+
+func (b *brokenWriter) Write(p []byte) (int, error) {
+	if len(p) > b.left {
+		n, _ := b.w.Write(p[:b.left])
+		b.left = 0
+		return n, b.err
+	}
+	b.left -= len(p)
+	return b.w.Write(p)
+}
+
+func TestWriteFileAtomicCommit(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"snap.jsonl", "snap.jsonl.gz"} {
+		path := filepath.Join(dir, name)
+		// Commit a good snapshot first.
+		committed := sampleSnapshot()
+		committed.SortDomains()
+		if err := WriteFile(path, committed); err != nil {
+			t.Fatal(err)
+		}
+		before, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A failed write — the moral equivalent of a crash mid-commit —
+		// must leave the committed file untouched and no temp debris.
+		boom := errors.New("disk on fire")
+		err = atomicWrite(path, func(w io.Writer) error {
+			bw := &brokenWriter{w: w, left: 10, err: boom}
+			_, werr := sampleSnapshot().WriteTo(bw)
+			return werr
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("%s: atomicWrite error = %v, want injected failure", name, err)
+		}
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Errorf("%s: committed file changed by failed write", name)
+		}
+		if _, err := os.Stat(path + ".tmp"); !errors.Is(err, fs.ErrNotExist) {
+			t.Errorf("%s: temp file left behind: %v", name, err)
+		}
+		if got, err := ReadFile(path); err != nil {
+			t.Errorf("%s: committed file unreadable after failed write: %v", name, err)
+		} else if !reflect.DeepEqual(got.Domains, committed.Domains) {
+			t.Errorf("%s: committed content corrupted", name)
+		}
+	}
+}
+
+func TestWriteFileFreshFailureLeavesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never.jsonl")
+	boom := errors.New("boom")
+	err := atomicWrite(path, func(w io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("final path exists after failed first write: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+func TestReadFileTruncatedGzipContext(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.jsonl.gz")
+	if err := WriteFile(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadFile(path)
+	if err == nil {
+		t.Fatal("truncated gzip read succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, path) || !strings.Contains(msg, "line") {
+		t.Errorf("error lacks path:line context: %q", msg)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("error does not unwrap to unexpected EOF: %v", err)
 	}
 }

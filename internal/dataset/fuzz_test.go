@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalRead drives the journal frame decoder with arbitrary
+// bytes. Recovery must never panic, never claim more valid bytes than
+// the input holds, and — when it does recover entries — must be
+// idempotent: recovering the valid prefix again yields the same result.
+func FuzzJournalRead(f *testing.F) {
+	// Seed: a healthy journal, its torn variants, and junk.
+	path := filepath.Join(f.TempDir(), "seed.waj")
+	j, err := CreateJournal(path, "2021-06", "alexa")
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := sampleSnapshot()
+	for i := range s.Domains {
+		if err := j.AddDomain(&s.Domains[i]); err != nil {
+			f.Fatal(err)
+		}
+	}
+	info := s.IPs["172.217.0.26"]
+	if err := j.AddIP(&info); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-4])
+	f.Add(seed[:len(journalMagic)+3])
+	f.Add([]byte(journalMagic))
+	f.Add([]byte("not a journal at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := recoverJournal(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return // rejected (no magic); fine
+		}
+		if rec.ValidBytes > int64(len(data)) {
+			t.Fatalf("ValidBytes %d > input %d", rec.ValidBytes, len(data))
+		}
+		if rec.Truncated != (rec.ValidBytes < int64(len(data))) {
+			t.Fatalf("Truncated=%v but ValidBytes=%d of %d", rec.Truncated, rec.ValidBytes, len(data))
+		}
+		if rec.Entries > 0 && rec.Snapshot == nil {
+			t.Fatal("entries recovered without a snapshot")
+		}
+		// Idempotence over the trusted prefix.
+		if rec.ValidBytes > 0 {
+			rec2, err := recoverJournal(bytes.NewReader(data[:rec.ValidBytes]), rec.ValidBytes)
+			if err != nil {
+				t.Fatalf("re-recovering the valid prefix failed: %v", err)
+			}
+			if rec2.ValidBytes != rec.ValidBytes || rec2.Entries != rec.Entries || rec2.Truncated {
+				t.Fatalf("prefix re-recovery diverged: %d/%d entries, %d/%d bytes, truncated=%v",
+					rec2.Entries, rec.Entries, rec2.ValidBytes, rec.ValidBytes, rec2.Truncated)
+			}
+		}
+	})
+}
+
+// FuzzRead drives the snapshot JSONL reader with arbitrary bytes: it
+// must return a snapshot or an error, never panic.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := sampleSnapshot().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	whole := buf.Bytes()
+	f.Add(whole)
+	f.Add(whole[:len(whole)/2])
+	f.Add([]byte(`{"kind":"snapshot","header":{"date":"d","corpus":"c"}}`))
+	f.Add([]byte(`{"kind":"mystery"}`))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err == nil && s == nil {
+			t.Fatal("nil snapshot without error")
+		}
+	})
+}

@@ -52,7 +52,29 @@ type Collector struct {
 	// ScanTimeout bounds one SMTP scan attempt (default 10s, matching
 	// smtp.Scan's own default).
 	ScanTimeout time.Duration
+	// OnDomain, when set, is called once for each domain record this
+	// run completes — the write-ahead-journal hook. Calls are
+	// serialized. Records resumed from Prior are not re-reported, and
+	// records finished under a cancelled context are suppressed (their
+	// failure classes reflect the cancellation, not the network).
+	OnDomain func(d *dataset.DomainRecord)
+	// OnIP is OnDomain's counterpart for completed IP observations.
+	OnIP func(info *dataset.IPInfo)
+	// Prior supplies records recovered from a crashed run's journal.
+	// Domains marked seen via Resume take their record from Prior
+	// instead of being re-resolved, and any address present in
+	// Prior.IPs is reused instead of being re-scanned.
+	Prior *dataset.Snapshot
+
+	// seen marks domains whose Prior record is complete (set by Resume).
+	seen map[string]bool
 }
+
+// Resume marks domains as already collected: their records are taken
+// from Prior rather than re-measured, composing with the journal —
+// pass JournalRecovery.Seen and JournalRecovery.Snapshot. Domains in
+// seen but absent from Prior are re-collected (the safe direction).
+func (c *Collector) Resume(seen map[string]bool) { c.seen = seen }
 
 // Close releases resources held by the collector's resolver (such as
 // the shared DNS transports of an IterativeResolver). Collectors whose
@@ -110,6 +132,37 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 	run := &collectRun{
 		retry:    newRetryState(c.Retry),
 		breakers: newBreakerSet(c.BreakerThreshold),
+	}
+
+	// Resume state: records recovered from a journal are spliced in
+	// instead of re-measured. Completion callbacks are serialized, and
+	// suppressed once ctx is cancelled — a record finished during
+	// shutdown may carry cancellation-induced failure classes, and
+	// journaling it would freeze that artifact into the resumed run.
+	priorDomain := make(map[string]*dataset.DomainRecord)
+	var priorIPs map[string]dataset.IPInfo
+	if c.Prior != nil {
+		for i := range c.Prior.Domains {
+			priorDomain[c.Prior.Domains[i].Domain] = &c.Prior.Domains[i]
+		}
+		priorIPs = c.Prior.IPs
+	}
+	var cbMu sync.Mutex
+	emitDomain := func(d *dataset.DomainRecord) {
+		if c.OnDomain == nil || ctx.Err() != nil {
+			return
+		}
+		cbMu.Lock()
+		defer cbMu.Unlock()
+		c.OnDomain(d)
+	}
+	emitIP := func(info *dataset.IPInfo) {
+		if c.OnIP == nil || ctx.Err() != nil {
+			return
+		}
+		cbMu.Lock()
+		defer cbMu.Unlock()
+		c.OnIP(info)
 	}
 
 	// Phase 1: DNS. Resolve every domain's MX set and every distinct
@@ -181,6 +234,12 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 	}
 	txtResolver, hasTXT := c.Resolver.(dns.TXTResolver)
 	parallel.Run(len(domains), workers, func(i int) {
+		if c.seen[domains[i].Name] {
+			if prior, ok := priorDomain[domains[i].Name]; ok {
+				records[i] = *prior // already journaled; no callback
+				return
+			}
+		}
 		rec := dataset.DomainRecord{Domain: domains[i].Name, Rank: domains[i].Rank}
 		if ctx.Err() != nil {
 			records[i] = rec
@@ -214,6 +273,7 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 			}
 		}
 		records[i] = rec
+		emitDomain(&records[i])
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -239,7 +299,12 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 
 	infos := make([]dataset.IPInfo, len(addrs))
 	parallel.Run(len(addrs), workers, func(i int) {
+		if prior, ok := priorIPs[addrs[i].String()]; ok {
+			infos[i] = prior // already journaled; no callback
+			return
+		}
 		infos[i] = c.scanIP(ctx, run, addrs[i])
+		emitIP(&infos[i])
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err

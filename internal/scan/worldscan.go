@@ -38,6 +38,13 @@ func (s *WorldSession) Close() error { return s.fleet.Close() }
 // for that date, resolves every corpus domain, scans every distinct MX
 // address over the fabric, and returns the joined snapshot.
 func (s *WorldSession) Snapshot(ctx context.Context, corpusName, date string) (*dataset.Snapshot, error) {
+	return s.SnapshotWith(ctx, corpusName, date, nil)
+}
+
+// SnapshotWith is Snapshot with a hook to configure the collector
+// before the run starts — journal callbacks, resume state, retry
+// policy overrides.
+func (s *WorldSession) SnapshotWith(ctx context.Context, corpusName, date string, configure func(*Collector)) (*dataset.Snapshot, error) {
 	corpus := s.World.Corpus(corpusName)
 	if corpus == nil {
 		return nil, fmt.Errorf("scan: unknown corpus %q", corpusName)
@@ -66,6 +73,9 @@ func (s *WorldSession) Snapshot(ctx context.Context, corpusName, date string) (*
 			}
 			return h.CensysMode.CoveredAt(dateIdx)
 		},
+	}
+	if configure != nil {
+		configure(col)
 	}
 	targets := make([]Target, len(corpus.Domains))
 	for i, d := range corpus.Domains {

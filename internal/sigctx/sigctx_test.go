@@ -1,0 +1,91 @@
+package sigctx
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// raise sends sig to this process and is only safe here because
+// WithInterrupt has installed a handler (the package test binary runs
+// alone in its process under `go test ./...`).
+func raise(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstSignalCancels(t *testing.T) {
+	exited := make(chan int, 1)
+	old := exit
+	exit = func(code int) { exited <- code }
+	defer func() { exit = old }()
+
+	ctx, stop := WithInterrupt(context.Background())
+	defer stop()
+	raise(t, syscall.SIGINT)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Errorf("ctx.Err() = %v, want Canceled", ctx.Err())
+	}
+	select {
+	case code := <-exited:
+		t.Errorf("first signal force-exited with %d", code)
+	default:
+	}
+}
+
+func TestSecondSignalForcesExit(t *testing.T) {
+	exited := make(chan int, 1)
+	old := exit
+	exit = func(code int) { exited <- code }
+	defer func() { exit = old }()
+
+	ctx, stop := WithInterrupt(context.Background())
+	defer stop()
+	raise(t, syscall.SIGINT)
+	<-ctx.Done()
+	raise(t, syscall.SIGINT)
+	select {
+	case code := <-exited:
+		if want := 128 + int(syscall.SIGINT); code != want {
+			t.Errorf("exit code = %d, want %d", code, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second SIGINT did not force exit")
+	}
+}
+
+func TestStopReleasesHandler(t *testing.T) {
+	old := exit
+	exit = func(int) {}
+	defer func() { exit = old }()
+	ctx, stop := WithInterrupt(context.Background())
+	stop()
+	if ctx.Err() != context.Canceled {
+		t.Errorf("stop did not cancel: %v", ctx.Err())
+	}
+	// Idempotent.
+	stop()
+}
+
+func TestParentCancellationPropagates(t *testing.T) {
+	old := exit
+	exit = func(int) {}
+	defer func() { exit = old }()
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := WithInterrupt(parent)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}
