@@ -1,0 +1,437 @@
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mxmap/internal/dns"
+	"mxmap/internal/netsim"
+)
+
+// runServeBench drives the overload-protection layer through four
+// deterministic stress phases — spoofed flood against RRL, victim
+// isolation across prefixes, slowloris admission control, graceful
+// drain — and writes the resulting serving counters to BENCH_serve.json
+// in outDir. Every phase uses a frozen RRL clock, blocking spoofed
+// injection, and sequential clients, so the counters are exact: the
+// file is byte-for-byte reproducible across runs and any deviation from
+// the expected arithmetic is reported as an error, not noise.
+func runServeBench(outDir string) error {
+	fmt.Println("serving stress phases (exact counters)")
+	var results []servePhase
+
+	for _, phase := range []struct {
+		name string
+		run  func() (servePhase, error)
+	}{
+		{"flood_rrl", serveBenchFlood},
+		{"victim_isolation", serveBenchVictim},
+		{"slowloris_admission", serveBenchSlowloris},
+		{"graceful_drain", serveBenchDrain},
+	} {
+		p, err := phase.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", phase.name, err)
+		}
+		p.Phase = phase.name
+		results = append(results, p)
+		fmt.Printf("%-22s %s\n", p.Phase, p.Detail)
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(outDir, "BENCH_serve.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// servePhase is one stress phase's entry in BENCH_serve.json: the
+// server's full counter snapshot plus the client-side observables.
+type servePhase struct {
+	Phase          string          `json:"phase"`
+	Detail         string          `json:"detail"`
+	Stats          dns.ServerStats `json:"stats"`
+	Lost           uint64          `json:"lost"`
+	ClientAnswered int             `json:"client_answered"`
+	ClientRetries  int64           `json:"client_retries"`
+}
+
+// serveBenchFlood floods an RRL-protected server with 3000 spoofed
+// queries from one /24 and checks the token arithmetic to the packet:
+// burst answered, then a strict drop/slip cadence.
+func serveBenchFlood() (servePhase, error) {
+	const flood, burst = 3000, 20
+	n := netsim.New()
+	srv, closeSrv, err := startServePhase(n, "203.0.113.1:53", dns.ServerConfig{
+		Catalog:    serveBenchCatalog(1),
+		UDPWorkers: 1,
+		RRL: &dns.RRLConfig{ResponsesPerSecond: 1000, Burst: burst, Slip: 2,
+			Now: frozenServeClock()},
+	})
+	if err != nil {
+		return servePhase{}, err
+	}
+	defer closeSrv()
+
+	wire, err := dns.NewQuery(0x4242, "d00.stress.example.", dns.TypeMX).Pack()
+	if err != nil {
+		return servePhase{}, err
+	}
+	if d := n.FloodUDP(netip.MustParsePrefix("198.51.100.0/24"),
+		netip.MustParseAddrPort("203.0.113.1:53"), wire, flood); d != flood {
+		return servePhase{}, fmt.Errorf("flood delivered %d/%d", d, flood)
+	}
+
+	const limited = flood - burst
+	want := dns.ServerStats{
+		UDPQueries:   flood,
+		UDPResponses: burst + limited/2,
+		RRLSlips:     limited / 2,
+		RRLDrops:     limited - limited/2,
+	}
+	st, err := awaitStats(srv, want)
+	if err != nil {
+		return servePhase{}, err
+	}
+	return servePhase{
+		Detail: fmt.Sprintf("%d spoofed queries: %d answered, %d slipped, %d dropped",
+			flood, burst, st.RRLSlips, st.RRLDrops),
+		Stats: st, Lost: st.Lost(),
+	}, nil
+}
+
+// serveBenchVictim saturates one /24's bucket with a spoofed flood
+// (Slip=1) and then runs a well-behaved client from another prefix:
+// every victim query must be answered — directly from its own burst,
+// then via slipped TC=1 replies retried over TCP — with zero retries.
+func serveBenchVictim() (servePhase, error) {
+	const flood, burst, victimQueries = 3000, 20, 40
+	n := netsim.New()
+	srv, closeSrv, err := startServePhase(n, "203.0.113.2:53", dns.ServerConfig{
+		Catalog:    serveBenchCatalog(victimQueries),
+		UDPWorkers: 1,
+		RRL: &dns.RRLConfig{ResponsesPerSecond: 1000, Burst: burst, Slip: 1,
+			Now: frozenServeClock()},
+	})
+	if err != nil {
+		return servePhase{}, err
+	}
+	defer closeSrv()
+
+	wire, err := dns.NewQuery(0x4242, "d00.stress.example.", dns.TypeMX).Pack()
+	if err != nil {
+		return servePhase{}, err
+	}
+	if d := n.FloodUDP(netip.MustParsePrefix("198.51.100.0/24"),
+		netip.MustParseAddrPort("203.0.113.2:53"), wire, flood); d != flood {
+		return servePhase{}, fmt.Errorf("flood delivered %d/%d", d, flood)
+	}
+	if _, err := awaitStats(srv, dns.ServerStats{
+		UDPQueries: flood, UDPResponses: flood, RRLSlips: flood - burst,
+	}); err != nil {
+		return servePhase{}, err
+	}
+
+	client := &dns.Client{Server: "203.0.113.2:53", Timeout: 5 * time.Second,
+		Retries: 0, DialContext: serveFabricDial(n)}
+	answered := 0
+	for i := 0; i < victimQueries; i++ {
+		resp, err := client.Exchange(context.Background(),
+			fmt.Sprintf("d%02d.stress.example.", i), dns.TypeMX)
+		if err != nil {
+			return servePhase{}, fmt.Errorf("victim query %d: %w", i, err)
+		}
+		if len(resp.Answers) == 1 {
+			answered++
+		}
+	}
+	if answered != victimQueries {
+		return servePhase{}, fmt.Errorf("victim answered %d/%d", answered, victimQueries)
+	}
+	if r := client.RetryCount(); r != 0 {
+		return servePhase{}, fmt.Errorf("victim needed %d retries, want 0", r)
+	}
+
+	st, err := awaitStats(srv, dns.ServerStats{
+		UDPQueries:   flood + victimQueries,
+		UDPResponses: flood + victimQueries,
+		RRLSlips:     (flood - burst) + (victimQueries - burst),
+		TCPAccepted:  victimQueries - burst,
+		TCPQueries:   victimQueries - burst,
+		TCPResponses: victimQueries - burst,
+	})
+	if err != nil {
+		return servePhase{}, err
+	}
+	return servePhase{
+		Detail: fmt.Sprintf("flooded prefix throttled, victim answered %d/%d with 0 retries",
+			answered, victimQueries),
+		Stats: st, Lost: st.Lost(),
+		ClientAnswered: answered, ClientRetries: client.RetryCount(),
+	}, nil
+}
+
+// serveBenchSlowloris fills the TCP admission cap with stalled
+// connections and checks that further dials are shed while the admitted
+// connections stay fully serviceable. (Slot reuse after release is
+// covered by the chaos tests; it is inherently racy to count exactly,
+// so the byte-reproducible bench stops at the deterministic part.)
+func serveBenchSlowloris() (servePhase, error) {
+	const connCap, rejects = 2, 5
+	n := netsim.New()
+	srv, closeSrv, err := startServePhase(n, "203.0.113.3:53", dns.ServerConfig{
+		Catalog:     serveBenchCatalog(1),
+		MaxTCPConns: connCap,
+		ReadTimeout: time.Minute, // stalls must outlive the phase, not the server
+	})
+	if err != nil {
+		return servePhase{}, err
+	}
+	defer closeSrv()
+	ap := netip.MustParseAddrPort("203.0.113.3:53")
+
+	var stalls []net.Conn
+	defer func() {
+		for _, c := range stalls {
+			c.Close()
+		}
+	}()
+	for i := 0; i < connCap; i++ {
+		c, err := n.Dial(context.Background(), ap)
+		if err != nil {
+			return servePhase{}, err
+		}
+		stalls = append(stalls, c)
+	}
+	if _, err := awaitStats(srv, dns.ServerStats{TCPAccepted: connCap}); err != nil {
+		return servePhase{}, err
+	}
+
+	for i := 0; i < rejects; i++ {
+		c, err := n.Dial(context.Background(), ap)
+		if err != nil {
+			return servePhase{}, err
+		}
+		// A shed connection is closed without a byte: read must see EOF.
+		if _, err := c.Read(make([]byte, 1)); err != io.EOF {
+			c.Close()
+			return servePhase{}, fmt.Errorf("rejected conn %d: read = %v, want EOF", i, err)
+		}
+		c.Close()
+	}
+
+	// The slowloris conns hold the cap but a held slot still serves: a
+	// query on an admitted connection is answered while rejects pile up.
+	resp, err := tcpExchange(stalls[0], "d00.stress.example.")
+	if err != nil {
+		return servePhase{}, fmt.Errorf("admitted conn starved: %w", err)
+	}
+	if len(resp.Answers) != 1 {
+		return servePhase{}, fmt.Errorf("admitted conn answer has %d records, want 1", len(resp.Answers))
+	}
+
+	st, err := awaitStats(srv, dns.ServerStats{
+		TCPAccepted: connCap, TCPRejected: rejects,
+		TCPQueries: 1, TCPResponses: 1,
+	})
+	if err != nil {
+		return servePhase{}, err
+	}
+	return servePhase{
+		Detail: fmt.Sprintf("cap %d held: %d shed, admitted conns stayed live", connCap, rejects),
+		Stats:  st, Lost: st.Lost(), ClientAnswered: 1,
+	}, nil
+}
+
+// serveBenchDrain serves sequential UDP and TCP load, then shuts down
+// gracefully: the drain must complete in deadline with every received
+// query answered.
+func serveBenchDrain() (servePhase, error) {
+	const udpQueries, tcpQueries = 32, 8
+	n := netsim.New()
+	srv, closeSrv, err := startServePhase(n, "203.0.113.4:53", dns.ServerConfig{
+		Catalog: serveBenchCatalog(8),
+	})
+	if err != nil {
+		return servePhase{}, err
+	}
+	defer closeSrv()
+
+	client := &dns.Client{Server: "203.0.113.4:53", Timeout: 5 * time.Second,
+		Retries: 0, DialContext: serveFabricDial(n)}
+	answered := 0
+	for i := 0; i < udpQueries; i++ {
+		resp, err := client.Exchange(context.Background(),
+			fmt.Sprintf("d%02d.stress.example.", i%8), dns.TypeMX)
+		if err != nil {
+			return servePhase{}, fmt.Errorf("udp query %d: %w", i, err)
+		}
+		if len(resp.Answers) == 1 {
+			answered++
+		}
+	}
+	conn, err := n.Dial(context.Background(), netip.MustParseAddrPort("203.0.113.4:53"))
+	if err != nil {
+		return servePhase{}, err
+	}
+	for i := 0; i < tcpQueries; i++ {
+		resp, err := tcpExchange(conn, fmt.Sprintf("d%02d.stress.example.", i%8))
+		if err != nil {
+			conn.Close()
+			return servePhase{}, fmt.Errorf("tcp query %d: %w", i, err)
+		}
+		if len(resp.Answers) == 1 {
+			answered++
+		}
+	}
+	conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return servePhase{}, fmt.Errorf("Shutdown: %w", err)
+	}
+	st, err := awaitStats(srv, dns.ServerStats{
+		UDPQueries: udpQueries, UDPResponses: udpQueries,
+		TCPAccepted: 1, TCPQueries: tcpQueries, TCPResponses: tcpQueries,
+		Drains: 1,
+	})
+	if err != nil {
+		return servePhase{}, err
+	}
+	return servePhase{
+		Detail: fmt.Sprintf("drained clean after %d queries, %d lost", udpQueries+tcpQueries, st.Lost()),
+		Stats:  st, Lost: st.Lost(), ClientAnswered: answered,
+	}, nil
+}
+
+// startServePhase runs a UDP+TCP server on the fabric; the returned
+// close func hard-stops it and reports serve-loop errors.
+func startServePhase(n *netsim.Network, addr string, cfg dns.ServerConfig) (*dns.Server, func() error, error) {
+	srv, err := dns.NewServer(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ap := netip.MustParseAddrPort(addr)
+	pc, err := n.ListenPacket(ap)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := n.Listen(ap)
+	if err != nil {
+		pc.Close()
+		return nil, nil, err
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- srv.ServeUDP(pc) }()
+	go func() { errc <- srv.ServeTCP(ln) }()
+	return srv, func() error {
+		srv.Close()
+		for i := 0; i < 2; i++ {
+			if err := <-errc; err != nil {
+				return fmt.Errorf("serve loop: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+// awaitStats polls until the server's counters equal want — the fabric
+// delivers synchronously but counters land just after the final write —
+// and reports the last-seen snapshot on timeout.
+func awaitStats(srv *dns.Server, want dns.ServerStats) (dns.ServerStats, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Stats()
+		if st == want {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("counters stuck at %+v, want %+v", st, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// serveBenchCatalog builds count single-MX zones dNN.stress.example.
+func serveBenchCatalog(count int) *dns.Catalog {
+	cat := dns.NewCatalog()
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("d%02d.stress.example", i)
+		z := dns.NewZone(name)
+		z.MustAdd(dns.RR{Name: name + ".", Type: dns.TypeMX, TTL: 60,
+			Data: dns.MXData{Preference: 10, Exchange: "mx." + name + "."}})
+		cat.AddZone(z)
+	}
+	return cat
+}
+
+// frozenServeClock pins the RRL clock so buckets never refill and the
+// token arithmetic is exact.
+func frozenServeClock() func() time.Time {
+	at := time.Unix(1700000000, 0)
+	return func() time.Time { return at }
+}
+
+// serveFabricDial adapts the simulated network to the client's dial
+// hook for both transports.
+func serveFabricDial(n *netsim.Network) func(ctx context.Context, network, address string) (net.Conn, error) {
+	return func(ctx context.Context, network, address string) (net.Conn, error) {
+		ap, err := netip.ParseAddrPort(address)
+		if err != nil {
+			return nil, err
+		}
+		if network == "udp" || network == "udp4" {
+			return n.DialUDP(ap)
+		}
+		return n.Dial(ctx, ap)
+	}
+}
+
+// tcpExchange writes one framed query on conn and reads the framed
+// response.
+func tcpExchange(conn net.Conn, name string) (*dns.Message, error) {
+	wire, err := dns.NewQuery(0x2121, name, dns.TypeMX).Pack()
+	if err != nil {
+		return nil, err
+	}
+	framed := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(framed, uint16(len(wire)))
+	copy(framed[2:], wire)
+	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(framed); err != nil {
+		return nil, err
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return dns.Unpack(buf)
+}

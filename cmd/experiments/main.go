@@ -41,7 +41,7 @@ func main() {
 		only        = flag.String("only", "", "comma-separated subset: fig4,table4,table5,fig5,fig6,fig7,fig8,table6")
 		sample      = flag.Int("sample", 200, "Figure 4 sample size per corpus variant")
 		parallelism = flag.Int("parallelism", 0, "inference/collection worker count (0 = GOMAXPROCS, 1 = serial)")
-		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline and DNS data plane, writing BENCH_infer.json and BENCH_dns.json instead of regenerating artifacts")
+		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline, DNS data plane, and overload protection, writing BENCH_infer.json, BENCH_dns.json, and BENCH_serve.json instead of regenerating artifacts")
 		faults      = flag.Bool("faults", false, "collect a deterministic fault-matrix corpus and write the health report as FAULTS.json instead of regenerating artifacts")
 	)
 	flag.Parse()
@@ -57,6 +57,9 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := runDNSBench(*outDir); err != nil {
+			log.Fatal(err)
+		}
+		if err := runServeBench(*outDir); err != nil {
 			log.Fatal(err)
 		}
 		return

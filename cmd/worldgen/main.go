@@ -3,33 +3,56 @@
 // prefix2as format, per-corpus domain listings with ground truth, and
 // the provider DNS zones in zone-file format.
 //
+// With -serve it instead binds a real authoritative DNS server (UDP and
+// TCP on the same port) for the generated zones, with response-rate
+// limiting and connection admission control, and drains gracefully on
+// SIGINT/SIGTERM, printing the serving counters on exit.
+//
 // Usage:
 //
 //	worldgen [-scale 0.05] [-seed 1] -out worlddir/
+//	worldgen [-scale 0.05] [-seed 1] -serve 127.0.0.1:5300 [-rrl-rate 1000] [-rrl-slip 2]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
+	"mxmap/internal/dns"
 	"mxmap/internal/report"
 	"mxmap/internal/world"
 )
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 0.05, "fraction of the paper's corpus sizes")
-		seed   = flag.Uint64("seed", 1, "generation seed")
-		outDir = flag.String("out", "world", "output directory")
+		scale       = flag.Float64("scale", 0.05, "fraction of the paper's corpus sizes")
+		seed        = flag.Uint64("seed", 1, "generation seed")
+		outDir      = flag.String("out", "world", "output directory")
+		serveAddr   = flag.String("serve", "", "serve the generated zones on this host:port instead of writing files")
+		rrlRate     = flag.Int("rrl-rate", dns.DefaultRRLRate, "RRL responses/second per client prefix (0 disables RRL)")
+		rrlBurst    = flag.Int("rrl-burst", 0, "RRL bucket depth (default 2x rate)")
+		rrlSlip     = flag.Int("rrl-slip", dns.DefaultRRLSlip, "send every Nth rate-limited answer as a TC=1 reply (-1 never)")
+		maxTCPConns = flag.Int("max-tcp-conns", dns.DefaultMaxTCPConns, "concurrent DNS-over-TCP connection cap (-1 unlimited)")
 	)
 	flag.Parse()
 
 	w, err := world.Generate(world.Config{Seed: *seed, Scale: *scale})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *serveAddr != "" {
+		if err := serveWorld(w, *serveAddr, *rrlRate, *rrlBurst, *rrlSlip, *maxTCPConns); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
@@ -81,6 +104,61 @@ func main() {
 		len(w.Corpus(world.CorpusAlexa).Domains),
 		len(w.Corpus(world.CorpusCOM).Domains),
 		len(w.Corpus(world.CorpusGOV).Domains))
+}
+
+// serveWorld binds the most recent snapshot's catalog on real sockets
+// and serves until SIGINT/SIGTERM, then drains gracefully.
+func serveWorld(w *world.World, addr string, rrlRate, rrlBurst, rrlSlip, maxTCPConns int) error {
+	catalog, err := w.CatalogAt(world.AllDates[len(world.AllDates)-1])
+	if err != nil {
+		return err
+	}
+	cfg := dns.ServerConfig{Catalog: catalog, MaxTCPConns: maxTCPConns}
+	if rrlRate > 0 {
+		cfg.RRL = &dns.RRLConfig{
+			ResponsesPerSecond: rrlRate,
+			Burst:              rrlBurst,
+			Slip:               rrlSlip,
+		}
+	}
+	srv, err := dns.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	// The background context keeps ListenAndServe from hard-closing on
+	// the signal; the drain below owns shutdown.
+	go func() { errc <- srv.ListenAndServe(context.Background(), addr, ready) }()
+	select {
+	case bound := <-ready:
+		fmt.Printf("serving %d zones on %s (udp+tcp), rrl rate=%d slip=%d; ^C to drain\n",
+			len(catalog.Zones()), bound, rrlRate, rrlSlip)
+	case err := <-errc:
+		return err
+	}
+
+	<-ctx.Done()
+	stop()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
+	if err := <-errc; err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+	}
+	st := srv.Stats()
+	fmt.Printf("udp: %d queries, %d responses, %d rrl-dropped, %d rrl-slipped\n",
+		st.UDPQueries, st.UDPResponses, st.RRLDrops, st.RRLSlips)
+	fmt.Printf("tcp: %d accepted, %d rejected, %d queries, %d responses\n",
+		st.TCPAccepted, st.TCPRejected, st.TCPQueries, st.TCPResponses)
+	fmt.Printf("drains: %d clean, %d timed out, %d queries lost\n",
+		st.Drains, st.DrainTimeouts, st.Lost())
+	return nil
 }
 
 func mustWrite(dir, name string, write func(*os.File) error) {

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mxmap/internal/overload"
 )
 
 // A Catalog is a set of zones searched by longest-suffix match, the lookup
@@ -140,13 +142,28 @@ func hasAnswerFor(answers []RR, name string, typ Type) bool {
 	return false
 }
 
+// Admission-control defaults.
+const (
+	// DefaultMaxTCPConns bounds concurrent DNS-over-TCP connections.
+	DefaultMaxTCPConns = 256
+	// DefaultTCPQueryBudget bounds queries served on one TCP connection
+	// before the server closes it.
+	DefaultTCPQueryBudget = 512
+	// maxConsecutiveServeErrs is how many back-to-back read/accept
+	// errors a serve loop absorbs with backoff before treating the
+	// socket as dead.
+	maxConsecutiveServeErrs = 16
+)
+
 // ServerConfig parameterizes a Server.
 type ServerConfig struct {
 	// Catalog provides the zones to serve. Required.
 	Catalog *Catalog
 	// Logger receives per-query debug records; nil disables logging.
 	Logger *slog.Logger
-	// ReadTimeout bounds waiting for a TCP query (default 10s).
+	// ReadTimeout bounds waiting for a TCP query (default 10s). It is
+	// also the slowloris guard: a connection that stalls mid-frame is
+	// closed when the deadline passes.
 	ReadTimeout time.Duration
 	// UDPSize is the maximum UDP response; larger answers are truncated
 	// (default 512, the classic RFC 1035 limit).
@@ -160,16 +177,32 @@ type ServerConfig struct {
 	// bypassed when Logger is set (per-query logging) and for non-IN
 	// classes.
 	DisableCache bool
+	// RRL enables response-rate limiting on UDP answers when non-nil.
+	// See RRLConfig; TCP responses are never rate-limited.
+	RRL *RRLConfig
+	// MaxTCPConns caps concurrent DNS-over-TCP connections; accepts
+	// beyond the cap are immediately closed and counted as rejected
+	// (default DefaultMaxTCPConns; negative means unlimited).
+	MaxTCPConns int
+	// TCPQueryBudget caps queries answered on a single TCP connection
+	// before it is closed, bounding what one peer can pin (default
+	// DefaultTCPQueryBudget; negative means unlimited).
+	TCPQueryBudget int
 }
 
 // A Server answers DNS queries over UDP and TCP from a Catalog.
 type Server struct {
-	cfg   ServerConfig
-	cache respCache
+	cfg     ServerConfig
+	cache   respCache
+	limiter *rrlLimiter
+	tcpSem  chan struct{}
+	stats   serverCounters
 
 	mu       sync.Mutex
 	udpConns []net.PacketConn
 	tcpLns   []net.Listener
+	tcpConns map[net.Conn]struct{}
+	draining bool
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -188,19 +221,38 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.UDPWorkers <= 0 {
 		cfg.UDPWorkers = min(runtime.GOMAXPROCS(0), 8)
 	}
-	return &Server{cfg: cfg}, nil
+	if cfg.MaxTCPConns == 0 {
+		cfg.MaxTCPConns = DefaultMaxTCPConns
+	}
+	if cfg.TCPQueryBudget == 0 {
+		cfg.TCPQueryBudget = DefaultTCPQueryBudget
+	}
+	s := &Server{cfg: cfg, tcpConns: make(map[net.Conn]struct{})}
+	if cfg.RRL != nil {
+		s.limiter = newRRLLimiter(*cfg.RRL)
+	}
+	if cfg.MaxTCPConns > 0 {
+		s.tcpSem = make(chan struct{}, cfg.MaxTCPConns)
+	}
+	return s, nil
 }
 
+// Stats returns a snapshot of the server's serving counters.
+func (s *Server) Stats() ServerStats { return s.stats.snapshot() }
+
 // ServeUDP answers queries arriving on pc until the server is closed or
-// pc fails. It blocks; run it in a goroutine.
+// pc fails hard. It blocks; run it in a goroutine.
 //
 // Packets are handled by a pool of cfg.UDPWorkers workers, each reading,
 // resolving and replying on its own reused buffers — net.PacketConn is
 // safe for concurrent ReadFrom/WriteTo — so the steady-state path has no
-// per-packet goroutine spawn or query copy.
+// per-packet goroutine spawn or query copy. Workers survive transient
+// read errors (e.g. the ECONNREFUSED a socket reports after ICMP
+// feedback) with jittered backoff; only a closed socket or a persistent
+// failure ends the loop.
 func (s *Server) ServeUDP(pc net.PacketConn) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return net.ErrClosed
 	}
@@ -217,25 +269,52 @@ func (s *Server) ServeUDP(pc net.PacketConn) error {
 			defer wg.Done()
 			buf := make([]byte, 64*1024)
 			st := new(handleState)
+			consec := 0
 			for {
 				n, addr, err := pc.ReadFrom(buf)
 				if err != nil {
-					errc <- err
-					return
-				}
-				resp := s.handle(st, buf[:n], true)
-				if resp != nil {
-					// WriteTo copies the payload into the socket (or
-					// fabric queue), so reusing resp's buffer is safe.
-					if _, err := pc.WriteTo(resp, addr); err != nil {
-						s.logf("udp write: %v", err)
+					if s.stopping() {
+						return
 					}
+					consec++
+					if !overload.TransientNetErr(err) || consec > maxConsecutiveServeErrs {
+						errc <- err
+						return
+					}
+					s.stats.udpReadRetries.Add(1)
+					overload.Backoff(consec)
+					continue
+				}
+				consec = 0
+				s.stats.udpQueries.Add(1)
+				resp := s.handle(st, buf[:n], true)
+				if resp == nil {
+					s.stats.udpDropped.Add(1)
+					continue
+				}
+				if s.limiter != nil {
+					switch s.limiter.decide(addr, respKind(resp)) {
+					case rrlDrop:
+						s.stats.rrlDrops.Add(1)
+						continue
+					case rrlSlip:
+						s.stats.rrlSlips.Add(1)
+						resp = slipResponse(resp)
+					}
+				}
+				// WriteTo copies the payload into the socket (or
+				// fabric queue), so reusing resp's buffer is safe.
+				if _, err := pc.WriteTo(resp, addr); err != nil {
+					s.stats.udpWriteErrors.Add(1)
+					s.logf("udp write: %v", err)
+				} else {
+					s.stats.udpResponses.Add(1)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if s.isClosed() {
+	if s.stopping() {
 		return nil
 	}
 	return <-errc
@@ -243,9 +322,13 @@ func (s *Server) ServeUDP(pc net.PacketConn) error {
 
 // ServeTCP accepts length-prefixed DNS-over-TCP connections on ln until
 // the server is closed. It blocks; run it in a goroutine.
+//
+// Accepts beyond MaxTCPConns are shed by closing the connection
+// immediately; transient accept errors are retried with jittered
+// backoff.
 func (s *Server) ServeTCP(ln net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return net.ErrClosed
 	}
@@ -254,48 +337,131 @@ func (s *Server) ServeTCP(ln net.Listener) error {
 	s.mu.Unlock()
 	defer s.wg.Done()
 
+	consec := 0
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			if s.isClosed() {
+			if s.stopping() {
 				return nil
 			}
-			return err
+			consec++
+			if !overload.TransientNetErr(err) || consec > maxConsecutiveServeErrs {
+				return err
+			}
+			s.stats.acceptRetries.Add(1)
+			overload.Backoff(consec)
+			continue
 		}
+		consec = 0
+		if !s.admitTCP() {
+			s.stats.tcpRejected.Add(1)
+			conn.Close()
+			continue
+		}
+		s.stats.tcpAccepted.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.releaseTCP()
 			defer conn.Close()
 			s.serveTCPConn(conn)
 		}()
 	}
 }
 
+// admitTCP takes an admission slot, or reports the cap is hit.
+func (s *Server) admitTCP() bool {
+	if s.tcpSem == nil {
+		return true
+	}
+	select {
+	case s.tcpSem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) releaseTCP() {
+	if s.tcpSem != nil {
+		<-s.tcpSem
+	}
+}
+
+// trackConn registers (add) or unregisters a serving TCP connection so
+// Shutdown can wake idle readers. Registration fails once the server is
+// stopping.
+func (s *Server) trackConn(conn net.Conn, add bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		if s.closed || s.draining {
+			return false
+		}
+		s.tcpConns[conn] = struct{}{}
+		return true
+	}
+	delete(s.tcpConns, conn)
+	return true
+}
+
+// beginTCPRead arms the idle deadline for the next query, refusing once
+// a drain has begun. Holding the server lock orders the deadline against
+// Shutdown's wake-up deadline: either we see draining and stop, or
+// Shutdown sees our registered connection and re-arms its immediate
+// deadline after ours.
+func (s *Server) beginTCPRead(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return false
+	}
+	return conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) == nil
+}
+
 func (s *Server) serveTCPConn(conn net.Conn) {
+	if !s.trackConn(conn, true) {
+		return
+	}
+	defer s.trackConn(conn, false)
 	st := new(handleState)
-	for {
-		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+	var lenBuf [2]byte
+	// Per-connection reused buffers: the read buffer grows to the
+	// largest frame seen (≤65535), the write buffer to frame+2.
+	rbuf := make([]byte, 0, 512)
+	wbuf := make([]byte, 0, 1024)
+	for served := 0; ; served++ {
+		if s.cfg.TCPQueryBudget > 0 && served >= s.cfg.TCPQueryBudget {
+			s.stats.tcpBudgetCloses.Add(1)
 			return
 		}
-		var lenBuf [2]byte
+		if !s.beginTCPRead(conn) {
+			return
+		}
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return
 		}
 		msgLen := int(binary.BigEndian.Uint16(lenBuf[:]))
-		query := make([]byte, msgLen)
+		if cap(rbuf) < msgLen {
+			rbuf = make([]byte, 0, msgLen)
+		}
+		query := rbuf[:msgLen]
 		if _, err := io.ReadFull(conn, query); err != nil {
 			return
 		}
+		s.stats.tcpQueries.Add(1)
 		resp := s.handle(st, query, false)
 		if resp == nil {
+			s.stats.tcpDropped.Add(1)
 			return
 		}
-		out := make([]byte, 2+len(resp))
-		binary.BigEndian.PutUint16(out, uint16(len(resp)))
-		copy(out[2:], resp)
-		if _, err := conn.Write(out); err != nil {
+		wbuf = append(wbuf[:0], byte(len(resp)>>8), byte(len(resp)))
+		wbuf = append(wbuf, resp...)
+		if _, err := conn.Write(wbuf); err != nil {
+			s.stats.tcpWriteErrors.Add(1)
 			return
 		}
+		s.stats.tcpResponses.Add(1)
 	}
 }
 
@@ -411,13 +577,80 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-func (s *Server) isClosed() bool {
+// stopping reports whether the server is draining or closed; serve
+// loops exit cleanly instead of surfacing the wake-up error.
+func (s *Server) stopping() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.closed
+	return s.closed || s.draining
 }
 
-// Close stops all listeners and waits for in-flight handlers.
+// Shutdown gracefully drains the server: it stops reading new UDP
+// queries and accepting new TCP connections, lets every query already
+// received finish — including in-flight TCP queries on open
+// connections — and then closes all sockets. It returns nil when the
+// drain completed, or ctx.Err() after falling back to a hard Close at
+// the context deadline. Close retains hard-stop semantics.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	first := !s.draining
+	s.draining = true
+	pcs := append([]net.PacketConn(nil), s.udpConns...)
+	lns := append([]net.Listener(nil), s.tcpLns...)
+	conns := make([]net.Conn, 0, len(s.tcpConns))
+	for c := range s.tcpConns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	// Wake everything that is blocked waiting for input: UDP workers see
+	// an immediate timeout and exit via stopping(); idle TCP readers see
+	// the same and close their connection. A connection mid-query keeps
+	// its write path untouched, so the in-flight answer still goes out.
+	now := time.Now()
+	for _, pc := range pcs {
+		pc.SetReadDeadline(now)
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.SetReadDeadline(now)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		if first {
+			s.stats.drains.Add(1)
+		}
+		s.mu.Lock()
+		s.closed = true
+		pcs := s.udpConns
+		s.mu.Unlock()
+		for _, pc := range pcs {
+			pc.Close()
+		}
+		return nil
+	case <-ctx.Done():
+		if first {
+			s.stats.drainTimeouts.Add(1)
+		}
+		s.Close()
+		return ctx.Err()
+	}
+}
+
+// Close stops all listeners and connections immediately and waits for
+// in-flight handlers. Shutdown is the graceful alternative.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -426,12 +659,19 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	conns, lns := s.udpConns, s.tcpLns
+	tconns := make([]net.Conn, 0, len(s.tcpConns))
+	for c := range s.tcpConns {
+		tconns = append(tconns, c)
+	}
 	s.mu.Unlock()
 	for _, pc := range conns {
 		pc.Close()
 	}
 	for _, ln := range lns {
 		ln.Close()
+	}
+	for _, c := range tconns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return nil

@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Flood and spoofing helpers: chaos tests for overload-resilient servers
+// need traffic the normal PacketConn surface cannot produce — datagrams
+// whose source address is forged, the raw material of DNS amplification
+// attacks. These inject straight into a destination queue, bypassing any
+// bound local endpoint.
+
+// spoofTimeout bounds how long an injected datagram waits for queue
+// space before the fabric reports the flood stalled.
+const spoofTimeout = 10 * time.Second
+
+// SpoofUDP delivers one datagram to dst carrying an arbitrary — possibly
+// forged — source address. Unlike PacketConn.WriteTo it blocks until the
+// destination queue accepts the datagram, so a caller that injects N
+// packets knows the receiver will read exactly N: the backpressure a
+// real attacker experiences as their NIC saturates. It reports false
+// when dst has no listener, the listener closes mid-flood, the
+// destination link is configured lossy or faulted, or the queue stays
+// full past a fabric timeout.
+func (n *Network) SpoofUDP(from, to netip.AddrPort, payload []byte) bool {
+	if len(payload) > maxDatagram {
+		return false
+	}
+	switch n.fault(to.Addr()) {
+	case FaultBlackhole, FaultRefuse:
+		return false
+	}
+	if p := n.udpLoss(to.Addr()); p > 0 && n.random() < p {
+		return false
+	}
+	n.udpMu.Lock()
+	peer := n.udpConns[to]
+	n.udpMu.Unlock()
+	if peer == nil {
+		return false
+	}
+	dg := datagram{from: from, data: append([]byte(nil), payload...)}
+	t := time.NewTimer(spoofTimeout)
+	defer t.Stop()
+	select {
+	case peer.queue <- dg:
+		return true
+	case <-peer.done:
+		return false
+	case <-t.C:
+		return false
+	}
+}
+
+// FloodUDP injects count copies of payload to dst, cycling the forged
+// source through the host and port space of fromPrefix the way a
+// spoofed-source flood does. It returns how many datagrams were
+// delivered into the destination queue (every delivered datagram will
+// be read by the receiver).
+func (n *Network) FloodUDP(fromPrefix netip.Prefix, to netip.AddrPort, payload []byte, count int) int {
+	delivered := 0
+	base := fromPrefix.Addr().As4()
+	for i := 0; i < count; i++ {
+		// Vary host byte and source port within the prefix: RRL must
+		// aggregate these to one bucket.
+		src := netip.AddrFrom4([4]byte{base[0], base[1], base[2], byte(1 + i%250)})
+		from := netip.AddrPortFrom(src, uint16(1024+i%50000))
+		if n.SpoofUDP(from, to, payload) {
+			delivered++
+		}
+	}
+	return delivered
+}

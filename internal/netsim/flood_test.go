@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestSpoofUDPDeliversForgedSource(t *testing.T) {
+	n := New()
+	pc, err := n.ListenPacket(netip.MustParseAddrPort("10.0.0.1:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	forged := netip.MustParseAddrPort("9.9.9.9:31337")
+	if !n.SpoofUDP(forged, netip.MustParseAddrPort("10.0.0.1:53"), []byte("hi")) {
+		t.Fatal("SpoofUDP reported failure to a live listener")
+	}
+	buf := make([]byte, 16)
+	pc.SetReadDeadline(time.Now().Add(time.Second))
+	nr, from, err := pc.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nr]) != "hi" {
+		t.Errorf("payload = %q, want %q", buf[:nr], "hi")
+	}
+	ua, ok := from.(*net.UDPAddr)
+	if !ok || ua.String() != "9.9.9.9:31337" {
+		t.Errorf("source = %v, want the forged 9.9.9.9:31337", from)
+	}
+}
+
+func TestSpoofUDPNoListener(t *testing.T) {
+	n := New()
+	if n.SpoofUDP(netip.MustParseAddrPort("9.9.9.9:1"),
+		netip.MustParseAddrPort("10.0.0.2:53"), []byte("x")) {
+		t.Fatal("SpoofUDP claimed delivery to an unbound address")
+	}
+}
+
+func TestSpoofUDPRespectsFaults(t *testing.T) {
+	n := New()
+	pc, err := n.ListenPacket(netip.MustParseAddrPort("10.0.0.3:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	n.SetFault(netip.MustParseAddr("10.0.0.3"), FaultBlackhole)
+	if n.SpoofUDP(netip.MustParseAddrPort("9.9.9.9:1"),
+		netip.MustParseAddrPort("10.0.0.3:53"), []byte("x")) {
+		t.Fatal("SpoofUDP delivered through a blackholed link")
+	}
+}
+
+// TestFloodUDPDeliversExactly proves the blocking contract chaos tests
+// build exact counters on: a flood of N with a live reader delivers all
+// N, with sources cycling inside the forged prefix.
+func TestFloodUDPDeliversExactly(t *testing.T) {
+	n := New()
+	pc, err := n.ListenPacket(netip.MustParseAddrPort("10.0.0.4:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	const count = 500
+	prefix := netip.MustParsePrefix("198.51.100.0/24")
+	received := make(chan netip.AddrPort, count)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			_, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				close(received)
+				return
+			}
+			ua := from.(*net.UDPAddr)
+			ip, _ := netip.AddrFromSlice(ua.IP)
+			received <- netip.AddrPortFrom(ip.Unmap(), uint16(ua.Port))
+		}
+	}()
+	delivered := n.FloodUDP(prefix, netip.MustParseAddrPort("10.0.0.4:53"), []byte("q"), count)
+	if delivered != count {
+		t.Fatalf("delivered %d/%d with a live reader", delivered, count)
+	}
+	for i := 0; i < count; i++ {
+		src := <-received
+		if !prefix.Contains(src.Addr()) {
+			t.Fatalf("datagram %d forged from %v, outside %v", i, src, prefix)
+		}
+	}
+	pc.Close()
+}
+
+// TestFloodUDPListenerClosesMidFlood kills the listener while the flood
+// is blocked on its full queue: the blocked injection must fail cleanly
+// (no panic, no hang) and every later one must report undelivered.
+func TestFloodUDPListenerClosesMidFlood(t *testing.T) {
+	n := New()
+	pc, err := n.ListenPacket(netip.MustParseAddrPort("10.0.0.5:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No reader: the queue fills at its 128-datagram bound and the 129th
+	// injection blocks until Close releases it.
+	done := make(chan int, 1)
+	go func() {
+		done <- n.FloodUDP(netip.MustParsePrefix("198.51.100.0/24"),
+			netip.MustParseAddrPort("10.0.0.5:53"), []byte("q"), 200)
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		n.udpMu.Lock()
+		queued := len(pc.queue)
+		n.udpMu.Unlock()
+		if queued == 128 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("queue never filled (at %d)", queued)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	pc.Close()
+	select {
+	case delivered := <-done:
+		if delivered != 128 {
+			t.Errorf("delivered = %d, want exactly the 128 queued before close", delivered)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flood hung after listener close")
+	}
+}
+
+// TestPacketConnDeadlineWakesBlockedRead pins the kernel-socket
+// semantics drains depend on: SetReadDeadline from another goroutine
+// interrupts a ReadFrom that is already blocked.
+func TestPacketConnDeadlineWakesBlockedRead(t *testing.T) {
+	n := New()
+	pc, err := n.ListenPacket(netip.MustParseAddrPort("10.0.0.6:53"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	got := make(chan error, 1)
+	go func() {
+		_, _, err := pc.ReadFrom(make([]byte, 16))
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the read block with no deadline
+	pc.SetReadDeadline(time.Now())
+	select {
+	case err := <-got:
+		ne, ok := err.(net.Error)
+		if !ok || !ne.Timeout() {
+			t.Fatalf("woken read returned %v, want a timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SetReadDeadline did not wake the blocked ReadFrom")
+	}
+}

@@ -31,11 +31,20 @@ type PacketConn struct {
 	network *Network
 	addr    netip.AddrPort
 	queue   chan datagram
+	// done signals Close to blocked readers and writers. The queue
+	// channel itself is never closed: a sender racing Close must get a
+	// clean drop, not a send-on-closed-channel panic.
+	done chan struct{}
 
 	mu            sync.Mutex
 	closed        bool
 	readDeadline  time.Time
 	writeDeadline time.Time
+	// rdChanged is closed and replaced whenever the read deadline moves,
+	// waking blocked ReadFrom calls to re-evaluate — kernel sockets
+	// interrupt blocked reads on SetReadDeadline, and graceful drains
+	// rely on exactly that.
+	rdChanged chan struct{}
 }
 
 // ListenPacket binds a datagram endpoint at ap. Port 0 allocates an
@@ -65,42 +74,58 @@ func (n *Network) ListenPacket(ap netip.AddrPort) (*PacketConn, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUDPPortInUse, ap)
 	}
 	pc := &PacketConn{
-		network: n,
-		addr:    ap,
-		queue:   make(chan datagram, 128),
+		network:   n,
+		addr:      ap,
+		queue:     make(chan datagram, 128),
+		done:      make(chan struct{}),
+		rdChanged: make(chan struct{}),
 	}
 	n.udpConns[ap] = pc
 	return pc, nil
 }
 
-// ReadFrom implements net.PacketConn.
+// ReadFrom implements net.PacketConn. A SetReadDeadline from another
+// goroutine interrupts a blocked call, as it does on a kernel socket.
 func (pc *PacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
-	pc.mu.Lock()
-	deadline := pc.readDeadline
-	closed := pc.closed
-	pc.mu.Unlock()
-	if closed {
-		return 0, nil, net.ErrClosed
-	}
-	var timeout <-chan time.Time
-	if !deadline.IsZero() {
-		d := time.Until(deadline)
-		if d <= 0 {
-			return 0, nil, timeoutError{}
-		}
-		t := time.NewTimer(d)
-		defer t.Stop()
-		timeout = t.C
-	}
-	select {
-	case dg, ok := <-pc.queue:
-		if !ok {
+	for {
+		pc.mu.Lock()
+		deadline := pc.readDeadline
+		closed := pc.closed
+		rdChanged := pc.rdChanged
+		pc.mu.Unlock()
+		if closed {
 			return 0, nil, net.ErrClosed
 		}
-		n := copy(p, dg.data)
-		return n, &net.UDPAddr{IP: dg.from.Addr().AsSlice(), Port: int(dg.from.Port())}, nil
-	case <-timeout:
-		return 0, nil, timeoutError{}
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return 0, nil, timeoutError{}
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+		select {
+		case dg := <-pc.queue:
+			if timer != nil {
+				timer.Stop()
+			}
+			n := copy(p, dg.data)
+			return n, &net.UDPAddr{IP: dg.from.Addr().AsSlice(), Port: int(dg.from.Port())}, nil
+		case <-pc.done:
+			if timer != nil {
+				timer.Stop()
+			}
+			return 0, nil, net.ErrClosed
+		case <-timeout:
+			return 0, nil, timeoutError{}
+		case <-rdChanged:
+			// Deadline moved under us; re-evaluate from scratch.
+			if timer != nil {
+				timer.Stop()
+			}
+		}
 	}
 }
 
@@ -144,6 +169,8 @@ func (pc *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	dg := datagram{from: pc.addr, data: append([]byte(nil), p...)}
 	select {
 	case peer.queue <- dg:
+	case <-peer.done:
+		// Receiver closed while we held its reference: dropped.
 	default:
 		// Receiver queue full: drop, like a kernel socket buffer.
 	}
@@ -162,7 +189,7 @@ func (pc *PacketConn) Close() error {
 	pc.network.udpMu.Lock()
 	delete(pc.network.udpConns, pc.addr)
 	pc.network.udpMu.Unlock()
-	close(pc.queue)
+	close(pc.done)
 	return nil
 }
 
@@ -176,6 +203,7 @@ func (pc *PacketConn) SetDeadline(t time.Time) error {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	pc.readDeadline, pc.writeDeadline = t, t
+	pc.wakeReaders()
 	return nil
 }
 
@@ -184,7 +212,15 @@ func (pc *PacketConn) SetReadDeadline(t time.Time) error {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	pc.readDeadline = t
+	pc.wakeReaders()
 	return nil
+}
+
+// wakeReaders nudges blocked ReadFrom calls after a deadline change.
+// Called with pc.mu held.
+func (pc *PacketConn) wakeReaders() {
+	close(pc.rdChanged)
+	pc.rdChanged = make(chan struct{})
 }
 
 // SetWriteDeadline implements net.PacketConn.

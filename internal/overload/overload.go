@@ -1,0 +1,52 @@
+// Package overload holds the small shared vocabulary of the serving
+// fabric's overload protection: classifying which network errors a serve
+// loop should survive, and the jittered backoff it sleeps between
+// retries. Both the DNS and SMTP servers build their admission control
+// and resilient accept/read loops on these.
+package overload
+
+import (
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net"
+	"syscall"
+	"time"
+)
+
+// TransientNetErr reports whether a serve-loop error (UDP ReadFrom, TCP
+// Accept) is worth retrying: deadline expiry, and the errno family a
+// socket surfaces transiently — ECONNREFUSED/ECONNRESET from ICMP
+// feedback after answering a vanished client, ECONNABORTED for a
+// connection that died in the accept queue, EINTR, and ENOBUFS under
+// memory pressure. Closed-socket errors and EOF are never transient: the
+// socket is gone and retrying can only spin.
+func TransientNetErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.ENOBUFS)
+}
+
+// Backoff sleeps a jittered exponential delay for the n-th consecutive
+// serve-loop error (n >= 1): base 1ms doubling to a 100ms cap, jittered
+// to [d/2, d] so a pool of workers does not retry in lockstep.
+func Backoff(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d := time.Millisecond << min(n-1, 7)
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	time.Sleep(d)
+}

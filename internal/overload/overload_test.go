@@ -1,0 +1,73 @@
+package overload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// timeoutErr satisfies net.Error with Timeout() == true, the shape a
+// deadline expiry surfaces as.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestTransientNetErr(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"timeout", timeoutErr{}, true},
+		{"wrapped timeout", &net.OpError{Op: "read", Err: timeoutErr{}}, true},
+		{"econnrefused", &net.OpError{Op: "read", Err: syscall.ECONNREFUSED}, true},
+		{"econnreset", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"econnaborted", &net.OpError{Op: "accept", Err: syscall.ECONNABORTED}, true},
+		{"eintr", syscall.EINTR, true},
+		{"enobufs", syscall.ENOBUFS, true},
+		{"closed socket", net.ErrClosed, false},
+		{"wrapped closed socket", &net.OpError{Op: "accept", Err: net.ErrClosed}, false},
+		{"eof", io.EOF, false},
+		{"plain error", errors.New("boom"), false},
+		// A closed socket stays fatal even when the wrapper also smells
+		// like an errno: the ErrClosed check must run first.
+		{"closed wrapping eintr", fmt.Errorf("%w: %w", net.ErrClosed, syscall.EINTR), false},
+	}
+	for _, tc := range cases {
+		if got := TransientNetErr(tc.err); got != tc.want {
+			t.Errorf("TransientNetErr(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffBounds pins the sleep envelope: the n-th delay is jittered
+// within [d/2, d] for d = min(1ms<<(n-1), 100ms), so a worker can never
+// stall a serve loop for more than 100ms per retry.
+func TestBackoffBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sleeps for real")
+	}
+	for _, n := range []int{0, 1, 3, 8, 100} {
+		d := time.Millisecond << min(max(n, 1)-1, 7)
+		if d > 100*time.Millisecond {
+			d = 100 * time.Millisecond
+		}
+		start := time.Now()
+		Backoff(n)
+		got := time.Since(start)
+		if got < d/2 {
+			t.Errorf("Backoff(%d) slept %v, want >= %v", n, got, d/2)
+		}
+		// Generous upper slack: scheduler wakeup latency, not jitter.
+		if got > d+250*time.Millisecond {
+			t.Errorf("Backoff(%d) slept %v, want <= ~%v", n, got, d)
+		}
+	}
+}

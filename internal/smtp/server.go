@@ -1,6 +1,7 @@
 package smtp
 
 import (
+	"context"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -10,6 +11,21 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mxmap/internal/overload"
+)
+
+// Admission-control defaults.
+const (
+	// DefaultMaxConns bounds concurrent SMTP sessions per server.
+	DefaultMaxConns = 512
+	// DefaultMaxCommands bounds commands per session before the server
+	// closes it with a 421.
+	DefaultMaxCommands = 1000
+	// maxConsecutiveAcceptErrs is how many back-to-back accept errors
+	// the serve loop absorbs with backoff before treating the listener
+	// as dead.
+	maxConsecutiveAcceptErrs = 16
 )
 
 // An Envelope is one received message: its envelope addresses and body.
@@ -51,18 +67,30 @@ type Config struct {
 	MaxMessageBytes int64
 	// ReadTimeout bounds waiting for each client command (default 60s).
 	ReadTimeout time.Duration
+	// MaxConns caps concurrent sessions; accepts beyond the cap are
+	// answered with a 421 and closed (default DefaultMaxConns; negative
+	// means unlimited).
+	MaxConns int
+	// MaxCommands caps commands per session before the server closes it
+	// with a 421, bounding what one client can pin (default
+	// DefaultMaxCommands; negative means unlimited).
+	MaxCommands int
 	// Logger receives session-level debug records; nil disables logging.
 	Logger *slog.Logger
 }
 
 // A Server accepts SMTP sessions on one or more listeners.
 type Server struct {
-	cfg Config
+	cfg   Config
+	sem   chan struct{}
+	stats serverCounters
 
-	mu     sync.Mutex
-	lns    []net.Listener
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	lns      []net.Listener
+	sessions map[*session]struct{}
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // NewServer validates cfg and creates a server.
@@ -82,14 +110,31 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = 60 * time.Second
 	}
-	return &Server{cfg: cfg}, nil
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.MaxCommands == 0 {
+		cfg.MaxCommands = DefaultMaxCommands
+	}
+	s := &Server{cfg: cfg, sessions: make(map[*session]struct{})}
+	if cfg.MaxConns > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConns)
+	}
+	return s, nil
 }
+
+// Stats returns a snapshot of the server's serving counters.
+func (s *Server) Stats() ServerStats { return s.stats.snapshot() }
 
 // Serve accepts connections on ln until the server is closed. It blocks;
 // run it in a goroutine.
+//
+// Transient accept errors are retried with jittered backoff instead of
+// killing the loop, and connections beyond MaxConns are shed with a 421
+// so a connection storm cannot spawn unbounded session goroutines.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return net.ErrClosed
 	}
@@ -97,29 +142,119 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.wg.Add(1)
 	s.mu.Unlock()
 	defer s.wg.Done()
+	consec := 0
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			if s.isClosed() {
+			if s.stopping() {
 				return nil
 			}
-			return err
+			consec++
+			if !overload.TransientNetErr(err) || consec > maxConsecutiveAcceptErrs {
+				return err
+			}
+			s.stats.acceptRetries.Add(1)
+			overload.Backoff(consec)
+			continue
 		}
+		consec = 0
+		if !s.admit() {
+			s.stats.rejected.Add(1)
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			writeReply(conn, 421, s.cfg.EHLOName+" Too many connections, try again later")
+			conn.Close()
+			continue
+		}
+		s.stats.accepted.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.release()
 			s.serveConn(conn)
 		}()
 	}
 }
 
-func (s *Server) isClosed() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closed
+// admit takes an admission slot, or reports the cap is hit.
+func (s *Server) admit() bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
 }
 
-// Close stops all listeners and waits for sessions to finish.
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// stopping reports whether the server is draining or closed.
+func (s *Server) stopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed || s.draining
+}
+
+// Shutdown gracefully drains the server: it stops accepting, lets each
+// session finish the command it is executing (a session mid-DATA
+// completes the transaction), tells idle sessions 421, and then closes.
+// It returns nil when the drain completed, or ctx.Err() after falling
+// back to a hard Close at the context deadline. Close retains hard-stop
+// semantics.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	first := !s.draining
+	s.draining = true
+	lns := append([]net.Listener(nil), s.lns...)
+	// Wake sessions blocked waiting for the next command; sessions busy
+	// executing a command are left to finish it and notice the drain at
+	// the loop top.
+	now := time.Now()
+	for sess := range s.sessions {
+		if !sess.busy {
+			sess.conn.SetReadDeadline(now)
+		}
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		if first {
+			s.stats.drains.Add(1)
+		}
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		if first {
+			s.stats.drainTimeouts.Add(1)
+		}
+		s.Close()
+		return ctx.Err()
+	}
+}
+
+// Close stops all listeners and sessions immediately and waits for
+// session goroutines to exit. Shutdown is the graceful alternative.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -128,9 +263,16 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	lns := s.lns
+	conns := make([]net.Conn, 0, len(s.sessions))
+	for sess := range s.sessions {
+		conns = append(conns, sess.conn)
+	}
 	s.mu.Unlock()
 	for _, ln := range lns {
 		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return nil
@@ -141,6 +283,11 @@ type session struct {
 	srv  *Server
 	conn net.Conn
 	rd   *reader
+
+	// busy is true while the session executes a command. Guarded by
+	// srv.mu: Shutdown reads it to tell idle sessions (safe to wake with
+	// an immediate read deadline) from ones mid-command.
+	busy bool
 
 	helloSeen     bool
 	tlsActive     bool
@@ -153,11 +300,19 @@ type session struct {
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	sess := &session{srv: s, conn: conn, rd: newReader(conn)}
+	if !s.trackSession(sess) {
+		// Raced with shutdown between accept and registration.
+		sess.goodbye()
+		return
+	}
+	defer s.untrackSession(sess)
 	if err := sess.reply(220, s.cfg.Banner); err != nil {
 		return
 	}
+	commands := 0
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)); err != nil {
+		if !s.beginRead(sess) {
+			sess.goodbye()
 			return
 		}
 		line, err := sess.rd.line()
@@ -166,10 +321,23 @@ func (s *Server) serveConn(conn net.Conn) {
 				sess.reply(500, "Line too long")
 				continue
 			}
+			if s.stopping() {
+				// Woken by Shutdown's immediate read deadline.
+				sess.goodbye()
+			}
 			return
 		}
+		commands++
+		if s.cfg.MaxCommands > 0 && commands > s.cfg.MaxCommands {
+			s.stats.budgetCloses.Add(1)
+			sess.goodbye()
+			return
+		}
+		s.stats.commands.Add(1)
 		verb, arg := command(line)
+		s.setBusy(sess, true)
 		done, err := sess.dispatch(verb, arg)
+		s.setBusy(sess, false)
 		if err != nil {
 			s.logf("session error: %v", err)
 			return
@@ -178,6 +346,50 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// trackSession registers a session for drain/close bookkeeping; it
+// refuses when the server is already stopping.
+func (s *Server) trackSession(sess *session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return false
+	}
+	s.sessions[sess] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+func (s *Server) setBusy(sess *session, v bool) {
+	s.mu.Lock()
+	sess.busy = v
+	s.mu.Unlock()
+}
+
+// beginRead arms the per-command read deadline. It runs under the server
+// mutex so it cannot race Shutdown's wake-up: a drain that has started
+// wins, and a session cannot park itself in a fresh 60s read afterward.
+func (s *Server) beginRead(sess *session) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.draining {
+		return false
+	}
+	return sess.conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) == nil
+}
+
+// goodbye tells the client the server is closing the transmission
+// channel (RFC 5321 §3.8) under a short write deadline so a stuck peer
+// cannot pin the drain.
+func (sess *session) goodbye() {
+	sess.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	writeReply(sess.conn, 421, sess.srv.cfg.EHLOName+" Service closing transmission channel")
 }
 
 func (sess *session) reply(code int, lines ...string) error {
@@ -250,8 +462,7 @@ func (sess *session) startTLS() error {
 		return fmt.Errorf("smtp: TLS handshake: %w", err)
 	}
 	tlsConn.SetDeadline(time.Time{})
-	sess.conn = tlsConn
-	sess.rd = newReader(tlsConn)
+	sess.setConn(tlsConn)
 	sess.tlsActive = true
 	// RFC 3207 §4.2: the server must discard client state from before
 	// the handshake.
@@ -260,6 +471,15 @@ func (sess *session) startTLS() error {
 	sess.username = ""
 	sess.resetTransaction()
 	return nil
+}
+
+// setConn swaps the session's connection (STARTTLS) under the server
+// mutex so a concurrent Shutdown or Close always sees the live conn.
+func (sess *session) setConn(conn net.Conn) {
+	sess.srv.mu.Lock()
+	sess.conn = conn
+	sess.rd = newReader(conn)
+	sess.srv.mu.Unlock()
 }
 
 func (sess *session) mail(arg string) error {

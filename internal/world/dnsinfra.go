@@ -2,11 +2,13 @@ package world
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
 
 	"mxmap/internal/dns"
 	"mxmap/internal/netsim"
@@ -23,16 +25,56 @@ type DNSInfra struct {
 	// resolver).
 	Roots []netip.AddrPort
 
+	opts    DNSServeOptions
 	servers []*dns.Server
 	conns   []*netsim.PacketConn
 }
 
-// Close stops every DNS server in the hierarchy.
+// DNSServeOptions tunes the overload protection applied to every
+// authority in the hierarchy. The zero value keeps RRL off and the dns
+// package's admission defaults.
+type DNSServeOptions struct {
+	// RRL applies response-rate limiting to every authority when non-nil.
+	RRL *dns.RRLConfig
+	// MaxTCPConns and TCPQueryBudget cap DNS-over-TCP per authority;
+	// zero keeps the dns defaults, negative means unlimited.
+	MaxTCPConns    int
+	TCPQueryBudget int
+}
+
+// Close hard-stops every DNS server in the hierarchy.
 func (inf *DNSInfra) Close() error {
 	for _, s := range inf.servers {
 		s.Close()
 	}
 	return nil
+}
+
+// Shutdown drains every server in the hierarchy concurrently, letting
+// in-flight queries finish; at the ctx deadline stragglers are
+// hard-closed and the error reported.
+func (inf *DNSInfra) Shutdown(ctx context.Context) error {
+	errs := make([]error, len(inf.servers))
+	var wg sync.WaitGroup
+	for i, s := range inf.servers {
+		wg.Add(1)
+		go func(i int, s *dns.Server) {
+			defer wg.Done()
+			errs[i] = s.Shutdown(ctx)
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Stats aggregates the serving counters of every server in the
+// hierarchy.
+func (inf *DNSInfra) Stats() dns.ServerStats {
+	var total dns.ServerStats
+	for _, s := range inf.servers {
+		total.Merge(s.Stats())
+	}
+	return total
 }
 
 // NumServers reports how many DNS servers are running.
@@ -54,6 +96,12 @@ const dnsShards = 8
 // registered zones beneath it to an authoritative shard, and the shards
 // serve the leaf zones from CatalogAt.
 func (w *World) StartDNS(n *netsim.Network, date string) (*DNSInfra, error) {
+	return w.StartDNSServe(n, date, DNSServeOptions{})
+}
+
+// StartDNSServe is StartDNS with overload protection configured: every
+// authority gets opts' RRL and TCP admission settings.
+func (w *World) StartDNSServe(n *netsim.Network, date string, opts DNSServeOptions) (*DNSInfra, error) {
 	leafCatalog, err := w.CatalogAt(date)
 	if err != nil {
 		return nil, err
@@ -78,7 +126,7 @@ func (w *World) StartDNS(n *netsim.Network, date string) (*DNSInfra, error) {
 		shardCatalogs[shard].AddZone(z)
 	}
 
-	inf := &DNSInfra{}
+	inf := &DNSInfra{opts: opts}
 	shardAddrs := make([]netip.Addr, dnsShards)
 	for i := range shardAddrs {
 		shardAddrs[i] = netip.AddrFrom4([4]byte{dnsShardBase[0], dnsShardBase[1], dnsShardBase[2], byte(1 + i)})
@@ -157,19 +205,34 @@ func (w *World) StartDNS(n *netsim.Network, date string) (*DNSInfra, error) {
 	return inf, nil
 }
 
-// serve starts one DNS server bound to addr:53 on the fabric. Two UDP
-// workers per simulated authority: the fabric hosts dozens of servers
-// per process, so the default (per-host-sized) pool would oversubscribe.
+// serve starts one DNS server bound to addr:53 on the fabric, UDP and
+// TCP — the TCP listener is what lets clients retry truncated (or
+// RRL-slipped) answers. Two UDP workers per simulated authority: the
+// fabric hosts dozens of servers per process, so the default
+// (per-host-sized) pool would oversubscribe.
 func (inf *DNSInfra) serve(n *netsim.Network, addr netip.Addr, cat *dns.Catalog) error {
-	srv, err := dns.NewServer(dns.ServerConfig{Catalog: cat, UDPWorkers: 2})
+	srv, err := dns.NewServer(dns.ServerConfig{
+		Catalog:        cat,
+		UDPWorkers:     2,
+		RRL:            inf.opts.RRL,
+		MaxTCPConns:    inf.opts.MaxTCPConns,
+		TCPQueryBudget: inf.opts.TCPQueryBudget,
+	})
 	if err != nil {
 		return err
 	}
-	pc, err := n.ListenPacket(netip.AddrPortFrom(addr, 53))
+	ap := netip.AddrPortFrom(addr, 53)
+	pc, err := n.ListenPacket(ap)
 	if err != nil {
+		return err
+	}
+	ln, err := n.Listen(ap)
+	if err != nil {
+		pc.Close()
 		return err
 	}
 	go srv.ServeUDP(pc)
+	go srv.ServeTCP(ln)
 	inf.servers = append(inf.servers, srv)
 	inf.conns = append(inf.conns, pc)
 	return nil
