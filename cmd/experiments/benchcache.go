@@ -1,0 +1,405 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"mxmap/internal/dns"
+	"mxmap/internal/netsim"
+)
+
+// The cached-resolve benchmark drives the caching recursive resolver
+// through a delegated root → TLD → authoritative hierarchy on the
+// simulated fabric. Two kinds of output come from it:
+//
+//   - resolve_cold / resolve_warm timing entries in the data_plane
+//     section (wall-clock, noisy like every timing benchmark), plus a
+//     hard ≥10x warm-over-cold speedup check;
+//   - a cached_resolve section of exact counters from deterministic,
+//     frozen-clock phases (cold fill, warm hits, prefetch, serve-stale,
+//     coalescing). That section is byte-for-byte reproducible across
+//     runs, and any deviation from the expected arithmetic is an error,
+//     not noise.
+const (
+	cachedBenchDomains = 48
+	cachedBenchTTL     = 60 // seconds on every MX answer
+)
+
+// Addressing for the bench hierarchy; disjoint from other bench phases.
+var (
+	cachedRootIP = netip.MustParseAddr("10.210.0.1")
+	cachedTLDIP  = netip.MustParseAddr("10.210.0.2")
+	cachedAuthIP = netip.MustParseAddr("10.210.0.3")
+)
+
+func cachedBenchName(i int) string { return fmt.Sprintf("d%02d.bench", i) }
+
+// startCachedBenchNet serves the three-level hierarchy — root delegating
+// "bench", the bench TLD delegating each dNN.bench with glue, one
+// authoritative server for all leaf zones — on a fresh fabric.
+func startCachedBenchNet() (*netsim.Network, []netip.AddrPort, func(), error) {
+	n := netsim.New()
+	var closers []func()
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+
+	serve := func(ip netip.Addr, cat *dns.Catalog) error {
+		srv, err := dns.NewServer(dns.ServerConfig{Catalog: cat, UDPWorkers: 2})
+		if err != nil {
+			return err
+		}
+		pc, err := n.ListenPacket(netip.AddrPortFrom(ip, 53))
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		go srv.ServeUDP(pc)
+		closers = append(closers, func() { srv.Close() })
+		return nil
+	}
+
+	root := dns.NewZone(".")
+	root.MustAdd(dns.RR{Name: ".", Type: dns.TypeSOA, TTL: 3600, Data: dns.SOAData{
+		MName: "a.root.", RName: "root.root.", Serial: 1, Minimum: 300}})
+	root.MustAdd(dns.RR{Name: "bench.", Type: dns.TypeNS, TTL: 3600, Data: dns.NSData{Host: "ns.bench."}})
+	root.MustAdd(dns.RR{Name: "ns.bench.", Type: dns.TypeA, TTL: 3600, Data: dns.AData{Addr: cachedTLDIP}})
+	rootCat := dns.NewCatalog()
+	rootCat.AddZone(root)
+
+	tld := dns.NewZone("bench")
+	tld.MustAdd(dns.RR{Name: "bench.", Type: dns.TypeSOA, TTL: 3600, Data: dns.SOAData{
+		MName: "ns.bench.", RName: "h.bench.", Serial: 1, Minimum: 300}})
+	authCat := dns.NewCatalog()
+	for i := 0; i < cachedBenchDomains; i++ {
+		name := cachedBenchName(i)
+		tld.MustAdd(dns.RR{Name: name + ".", Type: dns.TypeNS, TTL: 3600,
+			Data: dns.NSData{Host: "ns." + name + "."}})
+		tld.MustAdd(dns.RR{Name: "ns." + name + ".", Type: dns.TypeA, TTL: 3600,
+			Data: dns.AData{Addr: cachedAuthIP}})
+		z := dns.NewZone(name)
+		z.MustAdd(dns.RR{Name: name + ".", Type: dns.TypeSOA, TTL: 3600, Data: dns.SOAData{
+			MName: "ns." + name + ".", RName: "h." + name + ".", Serial: 1, Minimum: 300}})
+		z.MustAdd(dns.RR{Name: name + ".", Type: dns.TypeMX, TTL: cachedBenchTTL,
+			Data: dns.MXData{Preference: 10, Exchange: "mx." + name + "."}})
+		authCat.AddZone(z)
+	}
+	tldCat := dns.NewCatalog()
+	tldCat.AddZone(tld)
+
+	for _, s := range []struct {
+		ip  netip.Addr
+		cat *dns.Catalog
+	}{{cachedRootIP, rootCat}, {cachedTLDIP, tldCat}, {cachedAuthIP, authCat}} {
+		if err := serve(s.ip, s.cat); err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+	}
+	return n, []netip.AddrPort{netip.AddrPortFrom(cachedRootIP, 53)}, closeAll, nil
+}
+
+func cachedBenchResolver(n *netsim.Network, roots []netip.AddrPort) *dns.IterativeResolver {
+	return &dns.IterativeResolver{
+		Roots:   roots,
+		Timeout: 2 * time.Second,
+		DialContext: func(ctx context.Context, network, address string) (net.Conn, error) {
+			ap, err := netip.ParseAddrPort(address)
+			if err != nil {
+				return nil, err
+			}
+			if network == "udp" || network == "udp4" {
+				return n.DialUDP(ap)
+			}
+			return n.Dial(ctx, ap)
+		},
+	}
+}
+
+// benchCachedResolveTiming measures cold (full walk per query, cache
+// invalidated every iteration) vs warm (everything from the shared
+// cache) resolution and enforces the ≥10x speedup floor.
+func benchCachedResolveTiming(add func(name string, queries int, r testing.BenchmarkResult)) error {
+	n, roots, closeAll, err := startCachedBenchNet()
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	ctx := context.Background()
+
+	coldR := cachedBenchResolver(n, roots)
+	defer coldR.Close()
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			coldR.InvalidateCache()
+			if _, err := coldR.Query(ctx, cachedBenchName(i%cachedBenchDomains), dns.TypeMX); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("resolve_cold", 1, cold)
+
+	warmR := cachedBenchResolver(n, roots)
+	warmR.Cache = &dns.Cache{MaxEntries: 1 << 12}
+	warmR.PrefetchMinHits = -1 // timing purity: no background refreshes
+	defer warmR.Close()
+	for i := 0; i < cachedBenchDomains; i++ {
+		if _, err := warmR.Query(ctx, cachedBenchName(i), dns.TypeMX); err != nil {
+			return err
+		}
+	}
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := warmR.Query(ctx, cachedBenchName(i%cachedBenchDomains), dns.TypeMX); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("resolve_warm", 1, warm)
+
+	speedup := float64(cold.NsPerOp()) / float64(warm.NsPerOp())
+	fmt.Printf("%-24s %12.1fx warm over cold\n", "resolve_speedup", speedup)
+	if speedup < 10 {
+		return fmt.Errorf("warm cache speedup %.1fx, want >= 10x", speedup)
+	}
+	return nil
+}
+
+// cachedResolvePhase is one deterministic phase's entry in the
+// cached_resolve section.
+type cachedResolvePhase struct {
+	Phase  string `json:"phase"`
+	Detail string `json:"detail"`
+}
+
+// cachedResolveReport is the byte-reproducible cached_resolve section of
+// BENCH_dns.json: exact counters from frozen-clock phases.
+type cachedResolveReport struct {
+	Domains  int                  `json:"domains"`
+	Phases   []cachedResolvePhase `json:"phases"`
+	Resolver dns.ResolverStats    `json:"resolver"`
+	Cache    dns.CacheStats       `json:"cache"`
+	Coalesce dns.ResolverStats    `json:"coalesce"`
+}
+
+// runCachedResolvePhases drives the frozen-clock counter phases and
+// checks every ledger exactly.
+func runCachedResolvePhases() (cachedResolveReport, error) {
+	var report cachedResolveReport
+	report.Domains = cachedBenchDomains
+
+	n, roots, closeAll, err := startCachedBenchNet()
+	if err != nil {
+		return report, err
+	}
+	defer closeAll()
+
+	var mu sync.Mutex
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	r := cachedBenchResolver(n, roots)
+	r.Cache = &dns.Cache{MaxEntries: 1 << 12, Now: clock}
+	defer r.Close()
+	ctx := context.Background()
+
+	checkpoint := func(phase, detail string, wantRS dns.ResolverStats, wantCS dns.CacheStats) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			rs, cs := r.Stats(), r.Cache.Stats()
+			if rs == wantRS && cs == wantCS {
+				report.Phases = append(report.Phases, cachedResolvePhase{Phase: phase, Detail: detail})
+				fmt.Printf("%-22s %s\n", phase, detail)
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s: resolver %+v want %+v; cache %+v want %+v", phase, rs, wantRS, cs, wantCS)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Phase 1 — cold fill: the first domain walks root → TLD → auth (3
+	// exchanges); the remaining 47 reuse the cached bench. cut (2 each).
+	for i := 0; i < cachedBenchDomains; i++ {
+		if _, err := r.Query(ctx, cachedBenchName(i), dns.TypeMX); err != nil {
+			return report, fmt.Errorf("cold fill %s: %w", cachedBenchName(i), err)
+		}
+	}
+	const coldWire = 3 + 2*(cachedBenchDomains-1)
+	// Puts: 48 answers, 1 TLD delegation, 48 leaf delegations.
+	if err := checkpoint("cold_fill",
+		fmt.Sprintf("%d domains in %d exchanges via shared suffix walk", cachedBenchDomains, coldWire),
+		dns.ResolverStats{Queries: cachedBenchDomains, CacheMisses: cachedBenchDomains, WireQueries: coldWire},
+		dns.CacheStats{Misses: cachedBenchDomains, DelegationHits: cachedBenchDomains - 1,
+			Puts: 2*cachedBenchDomains + 1},
+	); err != nil {
+		return report, err
+	}
+
+	// Phase 2 — warm hits: three full passes, zero wire traffic.
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < cachedBenchDomains; i++ {
+			if _, err := r.Query(ctx, cachedBenchName(i), dns.TypeMX); err != nil {
+				return report, fmt.Errorf("warm pass %d %s: %w", pass, cachedBenchName(i), err)
+			}
+		}
+	}
+	const warmHits = 3 * cachedBenchDomains
+	if err := checkpoint("warm_hits",
+		fmt.Sprintf("%d queries served from cache, 0 exchanges", warmHits),
+		dns.ResolverStats{Queries: cachedBenchDomains + warmHits, CacheHits: warmHits,
+			CacheMisses: cachedBenchDomains, WireQueries: coldWire},
+		dns.CacheStats{Hits: warmHits, Misses: cachedBenchDomains,
+			DelegationHits: cachedBenchDomains - 1, Puts: 2*cachedBenchDomains + 1},
+	); err != nil {
+		return report, err
+	}
+
+	// Phase 3 — prefetch: a hit inside the final tenth of the TTL on a
+	// hot entry triggers one background refresh (one exchange, straight
+	// to the cached leaf cut).
+	advance(55 * time.Second) // 5s left of the 60s TTL
+	if _, err := r.Query(ctx, cachedBenchName(0), dns.TypeMX); err != nil {
+		return report, fmt.Errorf("prefetch trigger: %w", err)
+	}
+	if err := checkpoint("prefetch",
+		"near-expiry hit refreshed in background, 1 exchange",
+		dns.ResolverStats{Queries: cachedBenchDomains + warmHits + 1, CacheHits: warmHits + 1,
+			CacheMisses: cachedBenchDomains, WireQueries: coldWire + 1, Prefetches: 1},
+		dns.CacheStats{Hits: warmHits + 1, Misses: cachedBenchDomains,
+			DelegationHits: cachedBenchDomains, Puts: 2*cachedBenchDomains + 2},
+	); err != nil {
+		return report, err
+	}
+
+	// Phase 4 — serve-stale: every answer expired, every upstream dead.
+	// Each query burns one failed exchange against the (still fresh)
+	// leaf delegation, then answers from the stale entry per RFC 8767.
+	advance(121 * time.Second) // past every answer expiry, incl. the refreshed d00
+	for _, ip := range []netip.Addr{cachedRootIP, cachedTLDIP, cachedAuthIP} {
+		n.SetFault(ip, netsim.FaultBlackhole)
+	}
+	r.Timeout = 50 * time.Millisecond
+	for i := 1; i <= 2; i++ {
+		msg, err := r.Query(ctx, cachedBenchName(i), dns.TypeMX)
+		if err != nil {
+			return report, fmt.Errorf("serve-stale %s: %w", cachedBenchName(i), err)
+		}
+		if len(msg.Answers) != 1 || msg.Answers[0].TTL != dns.DefaultStaleTTL {
+			return report, fmt.Errorf("serve-stale %s: answers %+v, want 1 record with TTL %d",
+				cachedBenchName(i), msg.Answers, dns.DefaultStaleTTL)
+		}
+	}
+	if err := checkpoint("serve_stale",
+		fmt.Sprintf("2 stale answers (TTL %d) with all upstreams dead", dns.DefaultStaleTTL),
+		dns.ResolverStats{Queries: cachedBenchDomains + warmHits + 3, CacheHits: warmHits + 1,
+			CacheMisses: cachedBenchDomains + 2, StaleServed: 2, WireQueries: coldWire + 3, Prefetches: 1},
+		dns.CacheStats{Hits: warmHits + 1, Misses: cachedBenchDomains + 2, StaleHits: 2,
+			DelegationHits: cachedBenchDomains + 2, Puts: 2*cachedBenchDomains + 2},
+	); err != nil {
+		return report, err
+	}
+	report.Resolver = r.Stats()
+	report.Cache = r.Cache.Stats()
+
+	// Phase 5 — coalescing, on its own gated single-server setup: eight
+	// concurrent identical questions share one wire exchange.
+	co, err := runCoalescePhase()
+	if err != nil {
+		return report, err
+	}
+	report.Coalesce = co
+	report.Phases = append(report.Phases, cachedResolvePhase{Phase: "coalesce",
+		Detail: fmt.Sprintf("%d concurrent identical queries, %d exchange(s), %d coalesced",
+			co.Queries, co.WireQueries, co.Coalesced)})
+	fmt.Printf("%-22s %d concurrent identical queries, %d exchange(s), %d coalesced\n",
+		"coalesce", co.Queries, co.WireQueries, co.Coalesced)
+	return report, nil
+}
+
+// gatedBenchConn blocks reads until the gate closes, holding the
+// leader's exchange open while followers pile onto its flight.
+type gatedBenchConn struct {
+	net.Conn
+	gate <-chan struct{}
+}
+
+func (c gatedBenchConn) Read(p []byte) (int, error) {
+	<-c.gate
+	return c.Conn.Read(p)
+}
+
+func runCoalescePhase() (dns.ResolverStats, error) {
+	const workers = 8
+	n := netsim.New()
+	cat := dns.NewCatalog()
+	z := dns.NewZone(".")
+	z.MustAdd(dns.RR{Name: "hot.bench.", Type: dns.TypeMX, TTL: cachedBenchTTL,
+		Data: dns.MXData{Preference: 10, Exchange: "mx.hot.bench."}})
+	cat.AddZone(z)
+	srv, err := dns.NewServer(dns.ServerConfig{Catalog: cat, UDPWorkers: 2})
+	if err != nil {
+		return dns.ResolverStats{}, err
+	}
+	defer srv.Close()
+	pc, err := n.ListenPacket(netip.AddrPortFrom(cachedRootIP, 53))
+	if err != nil {
+		return dns.ResolverStats{}, err
+	}
+	go srv.ServeUDP(pc)
+
+	gate := make(chan struct{})
+	r := &dns.IterativeResolver{
+		Roots:   []netip.AddrPort{netip.AddrPortFrom(cachedRootIP, 53)},
+		Timeout: 10 * time.Second,
+		Cache:   &dns.Cache{MaxEntries: 1 << 8},
+		DialContext: func(ctx context.Context, network, address string) (net.Conn, error) {
+			conn, err := n.DialUDP(netip.MustParseAddrPort(address))
+			if err != nil {
+				return nil, err
+			}
+			return gatedBenchConn{Conn: conn, gate: gate}, nil
+		},
+	}
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Query(context.Background(), "hot.bench", dns.TypeMX)
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Stats().Coalesced != workers-1 {
+		if time.Now().After(deadline) {
+			return dns.ResolverStats{}, fmt.Errorf("coalesce: followers stuck at %+v", r.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return dns.ResolverStats{}, fmt.Errorf("coalesce worker %d: %w", i, err)
+		}
+	}
+	st := r.Stats()
+	want := dns.ResolverStats{Queries: workers, CacheMisses: workers,
+		Coalesced: workers - 1, WireQueries: 1}
+	if st != want {
+		return st, fmt.Errorf("coalesce stats %+v, want %+v", st, want)
+	}
+	return st, nil
+}

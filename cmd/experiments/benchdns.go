@@ -15,9 +15,12 @@ import (
 )
 
 // runDNSBench benchmarks the DNS data plane — wire codec, client
-// transport, server fast path — printing the results and writing them to
-// BENCH_dns.json in outDir (or the working directory when outDir is
-// empty).
+// transport, server fast path, cold vs warm cached resolution —
+// printing the results and writing them to BENCH_dns.json in outDir (or
+// the working directory when outDir is empty). The file has two
+// sections: data_plane (timing entries, noisy by nature) and
+// cached_resolve (exact counters from deterministic frozen-clock
+// phases, byte-for-byte reproducible across runs).
 func runDNSBench(outDir string) error {
 	var results []benchResult
 
@@ -95,6 +98,18 @@ func runDNSBench(outDir string) error {
 		add(mode.label, 1, r)
 	}
 
+	// Cached recursive resolution: cold vs warm timing with the ≥10x
+	// speedup floor, then the deterministic counter phases.
+	fmt.Println("cached resolve benchmarks")
+	if err := benchCachedResolveTiming(add); err != nil {
+		return err
+	}
+	fmt.Println("cached resolve phases (exact counters)")
+	cached, err := runCachedResolvePhases()
+	if err != nil {
+		return err
+	}
+
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
@@ -108,7 +123,12 @@ func runDNSBench(outDir string) error {
 	defer f.Close()
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	// cached_resolve stays the last key so its byte-reproducible tail
+	// can be extracted and compared across runs.
+	if err := enc.Encode(struct {
+		DataPlane     []benchResult       `json:"data_plane"`
+		CachedResolve cachedResolveReport `json:"cached_resolve"`
+	}{results, cached}); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)

@@ -15,8 +15,26 @@ import (
 // IterativeResolver performs full iterative resolution the way the
 // paper's active-DNS measurement platform does: start at the root
 // servers, follow referrals through the TLD to the authoritative
-// server, chase CNAMEs by restarting from the root, and cache
-// delegations so sibling queries skip the upper levels.
+// server, and chase CNAMEs by restarting from the root.
+//
+// With a Cache attached it behaves as a caching recursive resolver:
+//
+//   - Final answers (positive and RFC 2308 negative) are cached under
+//     their TTLs, and repeated questions are answered from memory.
+//   - Zone cuts discovered from referrals are cached too, and every
+//     resolution starts at the deepest cached cut covering the name —
+//     ten thousand domains hosted on one provider cost one walk of the
+//     shared NS chain.
+//   - Identical in-flight questions are coalesced: concurrent callers
+//     asking the same (name, type) share one wire exchange.
+//   - When every upstream for a question is unreachable, expired cache
+//     entries within the stale window are served per RFC 8767, so
+//     collection keeps moving through authoritative outages; each new
+//     query retries the wire (shared via coalescing) before falling
+//     back to stale data.
+//   - Hot entries are refreshed shortly before expiry (prefetch), so
+//     steady-state collection never blocks on the wire for popular
+//     provider infrastructure.
 //
 // It implements the Resolver interface, so the measurement pipeline can
 // run wire-faithful resolution end to end.
@@ -30,18 +48,43 @@ type IterativeResolver struct {
 	Timeout time.Duration
 	// MaxReferrals bounds the referral chain per query (default 16).
 	MaxReferrals int
-	// Cache, when non-nil, stores final responses under their TTLs so
-	// repeated questions skip the wire entirely.
+	// Cache, when non-nil, turns the resolver into a caching recursive
+	// resolver (see the type comment). Without it only delegations are
+	// cached, in an internal bounded store.
 	Cache *Cache
+	// PrefetchMinHits is the fresh-hit count an entry must reach before
+	// near-expiry prefetch refreshes it (default 3; negative disables
+	// prefetch). An entry is "near expiry" in the last tenth of its
+	// cache lifetime.
+	PrefetchMinHits int
+	// MaxAsyncRefresh bounds concurrent background prefetch refreshes
+	// (default 4); excess prefetch opportunities are skipped, not
+	// queued.
+	MaxAsyncRefresh int
 
 	mu sync.Mutex
-	// delegations caches zone -> server addresses discovered from
-	// referrals, keyed by the delegated zone name.
-	delegations map[string][]netip.AddrPort
+	// delegations is the internal bounded zone-cut store used when
+	// Cache is nil, so plain resolvers still skip the upper hierarchy.
+	delegations *Cache
+	// flights holds one entry per in-flight (name, type) question; the
+	// singleflight substrate of query coalescing.
+	flights map[cacheKey]*queryFlight
 	// transports holds one multiplexed UDP transport per authority
 	// server, so iteration reuses sockets across queries and callers
 	// instead of dialing per exchange. Closed by Close.
 	transports map[string]*Transport
+	// refreshSem bounds background refresh goroutines.
+	refreshSem chan struct{}
+
+	counters resolverCounters
+}
+
+// queryFlight is one in-flight resolution that concurrent identical
+// questions attach to.
+type queryFlight struct {
+	done chan struct{}
+	msg  *Message
+	err  error
 }
 
 // Errors particular to iteration.
@@ -54,18 +97,79 @@ var (
 	ErrLameDelegation = errors.New("dns: lame delegation (no usable name servers)")
 )
 
-// Query resolves one (name, type) question iteratively and returns the
-// final authoritative response.
+// prefetchDefaultMinHits is the default PrefetchMinHits.
+const prefetchDefaultMinHits = 3
+
+// refreshBudget bounds one background refresh's full iteration.
+const refreshBudget = 30 * time.Second
+
+// Query resolves one (name, type) question and returns the final
+// authoritative response — from cache when fresh, over the wire
+// otherwise, and from stale cache data when the wire fails.
 func (r *IterativeResolver) Query(ctx context.Context, name string, typ Type) (*Message, error) {
 	if len(r.Roots) == 0 {
 		return nil, ErrNoRoots
 	}
 	name = CanonicalName(name)
+	r.counters.queries.Add(1)
 	if r.Cache != nil {
-		if msg, ok := r.Cache.Get(name, typ); ok {
+		if msg, lk := r.Cache.Lookup(name, typ, false); lk.State == CacheFresh {
+			r.counters.cacheHits.Add(1)
+			r.maybePrefetch(name, typ, lk)
 			return msg, nil
 		}
+		r.counters.cacheMisses.Add(1)
 	}
+	msg, err := r.coalesced(ctx, name, typ)
+	if err != nil && r.Cache != nil {
+		// Serve-stale (RFC 8767): the wire attempt above was this
+		// query's refresh try; having failed, an expired entry within
+		// the stale window still answers.
+		if stale, lk := r.Cache.Lookup(name, typ, true); lk.State == CacheStale {
+			r.counters.staleServed.Add(1)
+			return stale, nil
+		}
+	}
+	return msg, err
+}
+
+// coalesced funnels identical concurrent questions into one iteration:
+// the first caller resolves, the rest wait on its flight and share the
+// outcome (each receiving a private copy).
+func (r *IterativeResolver) coalesced(ctx context.Context, name string, typ Type) (*Message, error) {
+	key := cacheKey{name: name, typ: typ}
+	r.mu.Lock()
+	if f, ok := r.flights[key]; ok {
+		r.mu.Unlock()
+		r.counters.coalesced.Add(1)
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err
+			}
+			return cloneMessage(f.msg), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if r.flights == nil {
+		r.flights = make(map[cacheKey]*queryFlight)
+	}
+	f := &queryFlight{done: make(chan struct{})}
+	r.flights[key] = f
+	r.mu.Unlock()
+
+	f.msg, f.err = r.iterate(ctx, name, typ)
+	r.mu.Lock()
+	delete(r.flights, key)
+	r.mu.Unlock()
+	close(f.done)
+	return f.msg, f.err
+}
+
+// iterate performs the referral walk for one question, starting from
+// the deepest cached zone cut.
+func (r *IterativeResolver) iterate(ctx context.Context, name string, typ Type) (*Message, error) {
 	maxRef := r.MaxReferrals
 	if maxRef <= 0 {
 		maxRef = 16
@@ -100,10 +204,68 @@ func (r *IterativeResolver) Query(ctx context.Context, name string, typ Type) (*
 				return nil, err
 			}
 		}
-		r.cacheDelegation(child, next)
+		r.delegationStore().PutDelegation(child, next, delegationTTL(resp))
 		servers, zone = next, child
 	}
 	return nil, ErrReferralLoop
+}
+
+// maybePrefetch refreshes a hot entry in the background when a fresh
+// hit lands in the last tenth of the entry's lifetime, so popular
+// questions never expire into a wire-blocking miss.
+func (r *IterativeResolver) maybePrefetch(name string, typ Type, lk CacheLookup) {
+	minHits := r.PrefetchMinHits
+	if minHits == 0 {
+		minHits = prefetchDefaultMinHits
+	}
+	if minHits < 0 || lk.Hits < uint64(minHits) || lk.OriginalTTL <= 0 {
+		return
+	}
+	if lk.Remaining > lk.OriginalTTL/10 {
+		return
+	}
+	if !r.Cache.tryStartPrefetch(name, typ) {
+		return
+	}
+	sem := r.refreshSemaphore()
+	select {
+	case sem <- struct{}{}:
+	default:
+		// Refresh capacity saturated: skip, the entry stays eligible.
+		r.Cache.clearPrefetch(name, typ)
+		return
+	}
+	go func() {
+		defer func() { <-sem }()
+		ctx, cancel := context.WithTimeout(context.Background(), refreshBudget)
+		defer cancel()
+		if _, err := r.coalesced(ctx, name, typ); err != nil {
+			// The entry keeps serving until expiry (then stale); clear
+			// the flag so a later hit retries the refresh.
+			r.Cache.clearPrefetch(name, typ)
+			r.counters.prefetchFailures.Add(1)
+			return
+		}
+		r.counters.prefetches.Add(1)
+	}()
+}
+
+func (r *IterativeResolver) refreshSemaphore() chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.refreshSem == nil {
+		n := r.MaxAsyncRefresh
+		if n <= 0 {
+			n = 4
+		}
+		r.refreshSem = make(chan struct{}, n)
+	}
+	return r.refreshSem
+}
+
+// Stats snapshots the resolver's counters.
+func (r *IterativeResolver) Stats() ResolverStats {
+	return r.counters.snapshot()
 }
 
 // LookupMX implements Resolver.
@@ -163,35 +325,65 @@ func (r *IterativeResolver) LookupTXT(ctx context.Context, domain string) ([]str
 	return txtFromMessage(resp, domain)
 }
 
-// bestServers returns the deepest cached delegation covering name, or
-// the roots.
-func (r *IterativeResolver) bestServers(name string) ([]netip.AddrPort, string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	best, bestZone := r.Roots, "."
-	for zone, servers := range r.delegations {
-		if IsSubdomain(name, zone) && CountLabels(zone) > CountLabels(bestZone) {
-			best, bestZone = servers, zone
-		}
+// delegationStore returns where zone cuts live: the shared Cache when
+// attached, otherwise an internal bounded store — either way the
+// delegation state of a long run cannot grow without limit.
+func (r *IterativeResolver) delegationStore() *Cache {
+	if r.Cache != nil {
+		return r.Cache
 	}
-	return best, bestZone
-}
-
-func (r *IterativeResolver) cacheDelegation(zone string, servers []netip.AddrPort) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.delegations == nil {
-		r.delegations = make(map[string][]netip.AddrPort)
+		r.delegations = NewCache()
 	}
-	r.delegations[CanonicalName(zone)] = servers
+	return r.delegations
+}
+
+// bestServers returns the deepest cached zone cut covering name, or the
+// roots. The cut walk is O(labels), not O(cached zones).
+func (r *IterativeResolver) bestServers(name string) ([]netip.AddrPort, string) {
+	if servers, zone, ok := r.delegationStore().Delegation(name); ok {
+		return servers, zone
+	}
+	return r.Roots, "."
+}
+
+// cacheDelegation seeds one zone cut directly (tests use this to build
+// pathological delegation states).
+func (r *IterativeResolver) cacheDelegation(zone string, servers []netip.AddrPort) {
+	r.delegationStore().PutDelegation(zone, servers, uint32(minDelegationTTL/time.Second))
+}
+
+// delegationTTL derives a referral's cache lifetime: the minimum TTL
+// among its authority NS records.
+func delegationTTL(referral *Message) uint32 {
+	var ttl uint32
+	seen := false
+	for _, rr := range referral.Authority {
+		if _, ok := rr.Data.(NSData); ok {
+			if !seen || rr.TTL < ttl {
+				ttl = rr.TTL
+				seen = true
+			}
+		}
+	}
+	return ttl
 }
 
 // InvalidateCache drops all cached delegations (for tests and long-lived
-// resolvers spanning zone changes).
+// resolvers spanning zone changes). Answer entries in an attached Cache
+// are not touched; they expire on their own TTLs.
 func (r *IterativeResolver) InvalidateCache() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.delegations = nil
+	internal := r.delegations
+	r.mu.Unlock()
+	if internal != nil {
+		internal.FlushDelegations()
+	}
+	if r.Cache != nil {
+		r.Cache.FlushDelegations()
+	}
 }
 
 // transportFor returns the shared transport for one server address,
@@ -235,6 +427,7 @@ func (r *IterativeResolver) askAny(ctx context.Context, servers []netip.AddrPort
 			DialContext: r.DialContext,
 			Transport:   r.transportFor(srv.String()),
 		}
+		r.counters.wireQueries.Add(1)
 		resp, err := cl.Exchange(ctx, name, typ)
 		if err != nil {
 			lastErr = err

@@ -92,6 +92,58 @@ func (st ServerStats) Lost() uint64 {
 	return uint64(lost)
 }
 
+// ResolverStats is a point-in-time snapshot of an IterativeResolver's
+// caching and coalescing counters. Cache-tier tests assert these
+// exactly against injected query sequences.
+//
+// Accounting invariants (steady state, Cache attached):
+//
+//	Queries == CacheHits + CacheMisses
+//	WireQueries counts individual server exchange attempts, so with
+//	healthy upstreams it equals the number of non-coalesced misses
+//	times the referral-chain length.
+type ResolverStats struct {
+	// Queries counts Query calls (every cache consultation).
+	Queries uint64
+	// CacheHits counts queries answered from a fresh cache entry.
+	CacheHits uint64
+	// CacheMisses counts queries that had to go to the wire.
+	CacheMisses uint64
+	// StaleServed counts queries answered from an expired entry under
+	// RFC 8767 after the wire attempt failed.
+	StaleServed uint64
+	// Coalesced counts queries that attached to an identical in-flight
+	// question instead of launching their own iteration.
+	Coalesced uint64
+	// WireQueries counts individual exchange attempts against servers.
+	WireQueries uint64
+	// Prefetches counts successful near-expiry background refreshes;
+	// PrefetchFailures counts refresh attempts that errored.
+	Prefetches       uint64
+	PrefetchFailures uint64
+}
+
+// resolverCounters is the live atomic counterpart of ResolverStats.
+type resolverCounters struct {
+	queries, cacheHits, cacheMisses, staleServed atomic.Uint64
+	coalesced, wireQueries                       atomic.Uint64
+	prefetches, prefetchFailures                 atomic.Uint64
+}
+
+// snapshot captures the counters into a ResolverStats.
+func (c *resolverCounters) snapshot() ResolverStats {
+	return ResolverStats{
+		Queries:          c.queries.Load(),
+		CacheHits:        c.cacheHits.Load(),
+		CacheMisses:      c.cacheMisses.Load(),
+		StaleServed:      c.staleServed.Load(),
+		Coalesced:        c.coalesced.Load(),
+		WireQueries:      c.wireQueries.Load(),
+		Prefetches:       c.prefetches.Load(),
+		PrefetchFailures: c.prefetchFailures.Load(),
+	}
+}
+
 // serverCounters is the live atomic counterpart of ServerStats.
 type serverCounters struct {
 	udpQueries, udpResponses, udpDropped, udpWriteErrors, udpReadRetries atomic.Uint64

@@ -91,3 +91,73 @@ func TestIterativeMatchesCatalog(t *testing.T) {
 		}
 	}
 }
+
+// TestCachedResolverAmortizesWalks runs the same wire-faithful
+// collection twice through one shared caching resolver and requires the
+// second pass to cost zero upstream queries: every answer — positive,
+// negative, and every delegation — must come out of the recursive
+// cache. This is the scan-level proof that the shared-cache hit rate,
+// not wire speed, bounds collection throughput.
+func TestCachedResolverAmortizesWalks(t *testing.T) {
+	w, err := world.Generate(world.Config{Seed: 29, Scale: 0.001, TailProviders: 10, SelfISPs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewWorldSession(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	date := "2021-06"
+
+	infra, err := w.StartDNS(sess.Net, date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer infra.Close()
+
+	corpus := w.Corpus(world.CorpusAlexa)
+	targets := make([]Target, 0, 40)
+	for i, d := range corpus.Domains {
+		if i >= 40 {
+			break
+		}
+		targets = append(targets, Target{Name: d.Name, Rank: d.Rank})
+	}
+
+	resolver := infra.NewIterativeResolver(sess.Net)
+	defer resolver.Close()
+	collect := func() {
+		col := &Collector{
+			Resolver:   resolver,
+			Dialer:     sess.Net,
+			Trust:      w.Trust,
+			Prefixes:   w.Prefixes,
+			ASRegistry: w.ASRegistry,
+		}
+		if _, err := col.Collect(context.Background(), "alexa", date, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	collect()
+	cold := infra.Stats()
+	collect()
+	warm := infra.Stats()
+
+	extraUDP := warm.UDPQueries - cold.UDPQueries
+	extraTCP := warm.TCPQueries - cold.TCPQueries
+	if extraUDP != 0 || extraTCP != 0 {
+		t.Errorf("second collection reached upstreams: %d UDP + %d TCP extra queries (cold run used %d)",
+			extraUDP, extraTCP, cold.UDPQueries+cold.TCPQueries)
+	}
+	rs := resolver.Stats()
+	if rs.CacheHits == 0 || rs.CacheMisses == 0 {
+		t.Errorf("cache never engaged: %+v", rs)
+	}
+	// Both passes issue the same questions, so hits must cover at least
+	// the second pass's share.
+	if rs.CacheHits < rs.CacheMisses {
+		t.Errorf("hit rate below 50%% across two identical passes: %+v", rs)
+	}
+}

@@ -238,12 +238,17 @@ func (inf *DNSInfra) serve(n *netsim.Network, addr netip.Addr, cat *dns.Catalog)
 	return nil
 }
 
-// NewIterativeResolver returns a resolver seeded with the hierarchy's
-// root hints, dialing over the fabric.
+// NewIterativeResolver returns a caching recursive resolver seeded with
+// the hierarchy's root hints, dialing over the fabric. The attached
+// cache is sized for snapshot-scale collection: positive/negative
+// answers, zone cuts, serve-stale and coalescing all engage, so
+// thousands of domains concentrated on one provider's infrastructure
+// cost one delegation walk.
 func (inf *DNSInfra) NewIterativeResolver(n *netsim.Network) *dns.IterativeResolver {
 	return &dns.IterativeResolver{
 		Roots:       inf.Roots,
 		DialContext: fabricDial(n),
+		Cache:       &dns.Cache{MaxEntries: 1 << 16},
 	}
 }
 
