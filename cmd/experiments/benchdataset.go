@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"mxmap/internal/benchdata"
+	"mxmap/internal/dataset"
+)
+
+// datasetBenchEntry is one snapshot-I/O benchmark's entry: throughput in
+// domains (or records) per second plus an allocation proxy for the
+// streaming claim — a shard spill or a merge must not allocate
+// proportionally to what it has already processed.
+type datasetBenchEntry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	RecordsSec  float64 `json:"records_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// datasetCounters is the byte-reproducible half of BENCH_dataset.json:
+// everything here is fully determined by the benchmark corpus, so two
+// runs on any machine must produce identical values.
+type datasetCounters struct {
+	// Domains and IPs count the benchmark snapshot's records.
+	Domains int `json:"domains"`
+	IPs     int `json:"ips"`
+	// ShardFiles is how many sorted shards the spill threshold produces.
+	ShardFiles int `json:"shard_files"`
+	// MergedBytes is the canonical (uncompressed) merged snapshot size.
+	MergedBytes int64 `json:"merged_bytes"`
+	// ByteIdentical records the core merge invariant: the k-way external
+	// merge of the shards equals Snapshot.WriteTo of the same records.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// datasetBenchReport is BENCH_dataset.json. The deterministic section is
+// the reproducibility contract; the throughput section records this
+// machine's rates for reference.
+type datasetBenchReport struct {
+	Deterministic datasetCounters     `json:"deterministic"`
+	Throughput    []datasetBenchEntry `json:"throughput"`
+}
+
+// runDatasetBench benchmarks the snapshot I/O path — spill-sorted shard
+// writes, the k-way external merge, and streaming iteration — and writes
+// BENCH_dataset.json in outDir.
+func runDatasetBench(outDir string) error {
+	const nDomains = 20_000
+	const maxBuffered = 4096 // force several spills per shard writer
+
+	snap := benchdata.Snapshot(nDomains)
+	snap.SortDomains()
+	dir, err := os.MkdirTemp("", "benchdataset")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Uncompressed paths: canonical JSONL bytes are deterministic across
+	// machines and Go versions, gzip framing is not guaranteed to be.
+	base := filepath.Join(dir, "snap.jsonl")
+	merged := filepath.Join(dir, "merged.jsonl")
+
+	ipKeys := make([]string, 0, len(snap.IPs))
+	for key := range snap.IPs {
+		ipKeys = append(ipKeys, key)
+	}
+	sort.Strings(ipKeys)
+
+	writeShards := func() *dataset.ShardSet {
+		set := dataset.NewShardSet(base, snap.Date, snap.Corpus)
+		set.MaxBuffered = maxBuffered
+		w := set.NewWriter()
+		for i := range snap.Domains {
+			if err := w.AddDomain(snap.Domains[i]); err != nil {
+				panic(err)
+			}
+		}
+		for _, key := range ipKeys {
+			if err := w.AddIP(snap.IPs[key]); err != nil {
+				panic(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			panic(err)
+		}
+		return set
+	}
+
+	var report datasetBenchReport
+	add := func(name string, records int, r testing.BenchmarkResult) {
+		e := datasetBenchEntry{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if r.T > 0 {
+			e.RecordsSec = float64(records) * float64(r.N) / r.T.Seconds()
+		}
+		report.Throughput = append(report.Throughput, e)
+		fmt.Printf("%-16s %12.0f ns/op %12.0f records/sec %10d allocs/op\n",
+			name, e.NsPerOp, e.RecordsSec, e.AllocsPerOp)
+	}
+
+	records := len(snap.Domains) + len(snap.IPs)
+	fmt.Printf("snapshot I/O benchmarks (%d domains, %d IPs, spill threshold %d)\n",
+		len(snap.Domains), len(snap.IPs), maxBuffered)
+
+	add("shard_write", records, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set := writeShards()
+			b.StopTimer()
+			if err := set.Remove(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}))
+
+	set := writeShards()
+	defer set.Remove()
+	add("merge", records, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dataset.Merge(merged, set.Paths()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	if _, err := dataset.Merge(merged, set.Paths()); err != nil {
+		return err
+	}
+
+	add("stream_iterate", records, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st, err := dataset.OpenStream(merged)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			err = st.ForEach(
+				func(*dataset.DomainRecord) error { n++; return nil },
+				func(*dataset.IPInfo) error { n++; return nil },
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != records {
+				b.Fatalf("streamed %d records, want %d", n, records)
+			}
+		}
+	}))
+
+	// The deterministic section: counters plus the merge invariant.
+	direct := filepath.Join(dir, "direct.jsonl")
+	if err := dataset.WriteFile(direct, snap); err != nil {
+		return err
+	}
+	mb, err := os.ReadFile(merged)
+	if err != nil {
+		return err
+	}
+	db, err := os.ReadFile(direct)
+	if err != nil {
+		return err
+	}
+	report.Deterministic = datasetCounters{
+		Domains:       len(snap.Domains),
+		IPs:           len(snap.IPs),
+		ShardFiles:    len(set.Paths()),
+		MergedBytes:   int64(len(mb)),
+		ByteIdentical: bytes.Equal(mb, db),
+	}
+	if !report.Deterministic.ByteIdentical {
+		return fmt.Errorf("merged shards differ from the in-memory snapshot (%d vs %d bytes)", len(mb), len(db))
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(outDir, "BENCH_dataset.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

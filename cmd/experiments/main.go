@@ -41,7 +41,7 @@ func main() {
 		only        = flag.String("only", "", "comma-separated subset: fig4,table4,table5,fig5,fig6,fig7,fig8,table6")
 		sample      = flag.Int("sample", 200, "Figure 4 sample size per corpus variant")
 		parallelism = flag.Int("parallelism", 0, "inference/collection worker count (0 = GOMAXPROCS, 1 = serial)")
-		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline, DNS data plane, and overload protection, writing BENCH_infer.json, BENCH_dns.json, and BENCH_serve.json instead of regenerating artifacts")
+		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline, DNS data plane, overload protection, and snapshot I/O, writing BENCH_infer.json, BENCH_dns.json, BENCH_serve.json, and BENCH_dataset.json instead of regenerating artifacts (-only infer,dns,serve,dataset selects a subset)")
 		faults      = flag.Bool("faults", false, "collect a deterministic fault-matrix corpus and write the health report as FAULTS.json instead of regenerating artifacts")
 	)
 	flag.Parse()
@@ -52,19 +52,6 @@ func main() {
 		}
 		return
 	}
-	if *runBench {
-		if err := runInferBench(*outDir, *parallelism); err != nil {
-			log.Fatal(err)
-		}
-		if err := runDNSBench(*outDir); err != nil {
-			log.Fatal(err)
-		}
-		if err := runServeBench(*outDir); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-
 	wanted := func(name string) bool {
 		if *only == "" {
 			return true
@@ -75,6 +62,30 @@ func main() {
 			}
 		}
 		return false
+	}
+
+	if *runBench {
+		if wanted("infer") {
+			if err := runInferBench(*outDir, *parallelism); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if wanted("dns") {
+			if err := runDNSBench(*outDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if wanted("serve") {
+			if err := runServeBench(*outDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if wanted("dataset") {
+			if err := runDatasetBench(*outDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
 	}
 
 	start := time.Now()

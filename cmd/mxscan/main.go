@@ -13,10 +13,17 @@
 // -resume recovers the journal and re-measures only what is missing.
 // Committed snapshots are written atomically (tmp, fsync, rename).
 //
+// At million-domain scale the fleet mode (-workers > 1, or -flat N for
+// the computed-on-the-fly flat corpus) runs a work-stealing worker pool:
+// each worker owns its own resolver, journal and sorted snapshot shard,
+// and the shards are externally merged into -o, so peak memory stays
+// independent of corpus size.
+//
 // Usage:
 //
 //	mxscan [-scale 0.05] [-seed 1] -corpus alexa -date 2021-06 [-o snap.jsonl]
 //	mxscan -journal snap.waj [-resume] -corpus alexa -date 2021-06 -o snap.jsonl
+//	mxscan -workers 4 -flat 1000000 -o flat.jsonl.gz   # million-domain fleet run
 //	mxscan -fsck snap.jsonl.gz   # or a journal; validates and exits
 package main
 
@@ -51,6 +58,9 @@ func main() {
 		journal   = flag.String("journal", "", "write-ahead journal path: append each completed record so a crashed run is resumable")
 		resume    = flag.Bool("resume", false, "recover the journal at -journal and skip already-collected records")
 		fsck      = flag.String("fsck", "", "validate the snapshot or journal at this path, print a report, and exit (status 1 unless clean)")
+		workers   = flag.Int("workers", 1, "collection fleet size: >1 runs a work-stealing worker fleet that writes sorted snapshot shards and merges them into -o")
+		shards    = flag.Int("shards", 0, "work-stealing dispatch slices for the fleet (default 4 per worker)")
+		flat      = flag.Int("flat", 0, "measure a computed-on-the-fly flat corpus of this many domains instead of a generated world (implies fleet mode; scale-independent memory)")
 	)
 	flag.Parse()
 
@@ -73,6 +83,26 @@ func main() {
 
 	ctx, stop := sigctx.WithInterrupt(context.Background())
 	defer stop()
+
+	if *workers > 1 || *flat > 0 {
+		if *iterative {
+			log.Fatal("-iterative is incompatible with fleet mode (-workers > 1 or -flat)")
+		}
+		runFleet(ctx, fleetOptions{
+			workers:    *workers,
+			workShards: *shards,
+			flat:       *flat,
+			seed:       *seed,
+			scale:      *scale,
+			corpus:     *corpus,
+			date:       *date,
+			out:        *out,
+			journal:    *journal,
+			resume:     *resume,
+			health:     *health,
+		})
+		return
+	}
 
 	start := time.Now()
 	w, err := world.Generate(world.Config{Seed: *seed, Scale: *scale})

@@ -30,19 +30,28 @@ type Concentration struct {
 // consolidation being measured; the paper likewise plots self-hosting as
 // a separate series.
 func ComputeConcentration(res *core.Result, dir *companies.Directory) Concentration {
-	credits := CompanyCredits(res, dir)
-	delete(credits, SelfHostedLabel)
+	return concentrationFromCredits(CompanyCredits(res, dir))
+}
+
+// concentrationFromCredits is the credits-based core shared with the
+// streaming ShareAccumulator. The self-hosted bucket is dropped here so
+// both entry points apply the same exclusion.
+func concentrationFromCredits(credits map[string]float64) Concentration {
 	total := 0.0
-	for _, c := range credits {
-		total += c
+	for company, c := range credits {
+		if company != SelfHostedLabel {
+			total += c
+		}
 	}
 	var out Concentration
 	if total == 0 {
 		return out
 	}
 	shares := make([]float64, 0, len(credits))
-	for _, c := range credits {
-		shares = append(shares, 100*c/total)
+	for company, c := range credits {
+		if company != SelfHostedLabel {
+			shares = append(shares, 100*c/total)
+		}
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(shares)))
 	for i, s := range shares {

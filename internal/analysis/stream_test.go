@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"mxmap/internal/world"
+)
+
+// The accumulator fed one attribution at a time must reproduce the
+// batch CompanyCredits / TopShares / ComputeConcentration pipeline.
+func TestShareAccumulatorMatchesBatch(t *testing.T) {
+	w, results := setup(t)
+	dates := w.Corpus(world.CorpusAlexa).Dates
+	res := results[world.CorpusAlexa][dates[len(dates)-1]]
+
+	acc := NewShareAccumulator(w.Directory)
+	for _, att := range res.Domains {
+		acc.Add(att)
+	}
+	if acc.Domains() != len(res.Domains) {
+		t.Fatalf("Domains() = %d, want %d", acc.Domains(), len(res.Domains))
+	}
+	if want := CompanyCredits(res, w.Directory); !reflect.DeepEqual(acc.Credits(), want) {
+		t.Errorf("credits diverged:\naccumulated: %v\nbatch:       %v", acc.Credits(), want)
+	}
+	wantShares := TopShares(CompanyCredits(res, w.Directory), len(res.Domains), 5)
+	if got := acc.TopShares(5); !reflect.DeepEqual(got, wantShares) {
+		t.Errorf("top shares diverged:\naccumulated: %+v\nbatch:       %+v", got, wantShares)
+	}
+	wantConc := ComputeConcentration(res, w.Directory)
+	if got := acc.Concentration(); got != wantConc {
+		t.Errorf("concentration diverged: %+v vs %+v", got, wantConc)
+	}
+}

@@ -187,7 +187,11 @@ type Result struct {
 	// MX maps exchange name to its assignment.
 	MX map[string]*MXAssignment
 	// Domains holds one attribution per input domain, in input order.
+	// Nil for InferStream runs, which hand each attribution to the emit
+	// callback instead of retaining it; NumDomains still counts them.
 	Domains []DomainAttribution
+	// NumDomains counts the attributed input domains.
+	NumDomains int
 	// NumExamined counts assignments flagged in step 4.
 	NumExamined int
 	// NumCorrected counts assignments changed in step 4.
@@ -215,7 +219,7 @@ func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
 	// Step 1 — certificate preprocessing (cert-based and priority only).
 	var groups *CertGroups
 	if approach == ApproachCertBased || approach == ApproachPriority {
-		certList := collectCerts(s, idx)
+		certList := collectCerts(s.IPs, idx.SortedIPKeys)
 		if cfg.DisableCertGrouping {
 			groups = singletonGroups(certList, memo)
 		} else {
@@ -224,7 +228,7 @@ func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
 	}
 
 	// Step 2 — per-IP identities, sharded over the sorted key list.
-	ipIDs := computeIPIDs(s, idx, groups, memo, cfg, workers)
+	ipIDs := computeIPIDs(s.IPs, idx.SortedIPKeys, groups, memo, cfg, workers)
 
 	// Popularity counters for confidence scores: how many domains' primary
 	// MX sets point at each address and at each certificate.
@@ -235,7 +239,7 @@ func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
 	res := &Result{Approach: approach, MX: make(map[string]*MXAssignment, len(idx.Exchanges))}
 	assigns := make([]*MXAssignment, len(idx.Exchanges))
 	parallel.Run(len(idx.Exchanges), workers, func(i int) {
-		assigns[i] = assignMX(idx.Exchanges[i], approach, ipIDs, numIP, numCert, s, memo, cfg.PreferBannerOverCert)
+		assigns[i] = assignMX(idx.Exchanges[i], approach, ipIDs, numIP, numCert, s.IPs, memo, cfg.PreferBannerOverCert)
 	})
 	for _, a := range assigns {
 		res.MX[a.Exchange] = a
@@ -243,25 +247,26 @@ func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
 
 	// Step 4 — misidentification check (priority approach only).
 	if approach == ApproachPriority && len(cfg.Profiles) > 0 {
-		checkMisidentifications(res, s, idx, ipIDs, cfg, memo)
+		checkMisidentifications(res, idx.Exchanges, s.IPs, ipIDs, cfg, memo)
 	}
 
 	// Step 5 — per-domain attribution, sharded over domain positions.
 	// res.MX is read-only from here on, so concurrent map reads are safe.
 	res.Domains = make([]DomainAttribution, len(s.Domains))
+	res.NumDomains = len(s.Domains)
 	parallel.Run(len(s.Domains), workers, func(i int) {
-		res.Domains[i] = attributeDomain(&s.Domains[i], idx.PrimaryMX[i], res.MX, s)
+		res.Domains[i] = attributeDomain(&s.Domains[i], idx.PrimaryMX[i], res.MX, s.IPs)
 	})
 	return res
 }
 
-// collectCerts gathers every captured certificate in the snapshot,
-// walking the index's presorted key list for deterministic order.
-func collectCerts(s *dataset.Snapshot, idx *dataset.Index) []Cert {
+// collectCerts gathers every captured certificate in the IP
+// observations, walking the presorted key list for deterministic order.
+func collectCerts(ips map[string]dataset.IPInfo, sortedKeys []string) []Cert {
 	seen := make(map[string]bool)
 	var out []Cert
-	for _, k := range idx.SortedIPKeys {
-		info := s.IPs[k]
+	for _, k := range sortedKeys {
+		info := ips[k]
 		sc := info.Scan
 		if sc == nil || !sc.CertPresent || sc.CertFingerprint == "" || seen[sc.CertFingerprint] {
 			continue
@@ -287,10 +292,10 @@ type ipIdentity struct {
 // Workers fill an index-addressed slice over the sorted key list; the
 // map is assembled after the barrier so the outcome is independent of
 // scheduling.
-func computeIPIDs(s *dataset.Snapshot, idx *dataset.Index, groups *CertGroups, memo *psl.Memo, cfg Config, workers int) map[string]ipIdentity {
-	ids := make([]ipIdentity, len(idx.SortedIPKeys))
-	parallel.Run(len(idx.SortedIPKeys), workers, func(i int) {
-		info := s.IPs[idx.SortedIPKeys[i]]
+func computeIPIDs(ips map[string]dataset.IPInfo, sortedKeys []string, groups *CertGroups, memo *psl.Memo, cfg Config, workers int) map[string]ipIdentity {
+	ids := make([]ipIdentity, len(sortedKeys))
+	parallel.Run(len(sortedKeys), workers, func(i int) {
+		info := ips[sortedKeys[i]]
 		sc := info.Scan
 		if sc == nil {
 			return
@@ -306,8 +311,8 @@ func computeIPIDs(s *dataset.Snapshot, idx *dataset.Index, groups *CertGroups, m
 		id.bannerID = bannerIdentity(sc, memo, cfg.RequireBannerEHLOAgreement)
 		ids[i] = id
 	})
-	out := make(map[string]ipIdentity, len(idx.SortedIPKeys))
-	for i, k := range idx.SortedIPKeys {
+	out := make(map[string]ipIdentity, len(sortedKeys))
+	for i, k := range sortedKeys {
 		out[k] = ids[i]
 	}
 	return out
@@ -411,7 +416,7 @@ func containsStr(list []string, s string) bool {
 }
 
 // assignMX performs step 3 for one MX record under the chosen approach.
-func assignMX(mx dataset.MXObs, approach Approach, ipIDs map[string]ipIdentity, numIP, numCert map[string]int, s *dataset.Snapshot, memo *psl.Memo, bannerFirst bool) *MXAssignment {
+func assignMX(mx dataset.MXObs, approach Approach, ipIDs map[string]ipIdentity, numIP, numCert map[string]int, ips map[string]dataset.IPInfo, memo *psl.Memo, bannerFirst bool) *MXAssignment {
 	a := &MXAssignment{Exchange: mx.Exchange}
 
 	// Confidence: the busiest signal backing this MX.
@@ -420,7 +425,7 @@ func assignMX(mx dataset.MXObs, approach Approach, ipIDs map[string]ipIdentity, 
 		if c := numIP[key]; c > a.Confidence {
 			a.Confidence = c
 		}
-		if info, ok := s.IPs[key]; ok && info.Scan != nil {
+		if info, ok := ips[key]; ok && info.Scan != nil {
 			if c := numCert[info.Scan.CertFingerprint]; c > a.Confidence {
 				a.Confidence = c
 			}
@@ -494,7 +499,7 @@ func mxFallbackID(exchange string, memo *psl.Memo) string {
 
 // attributeDomain performs step 5 for one domain, using the index's
 // cached primary MX set.
-func attributeDomain(d *dataset.DomainRecord, primary []dataset.MXObs, mxAssign map[string]*MXAssignment, s *dataset.Snapshot) DomainAttribution {
+func attributeDomain(d *dataset.DomainRecord, primary []dataset.MXObs, mxAssign map[string]*MXAssignment, ips map[string]dataset.IPInfo) DomainAttribution {
 	out := DomainAttribution{Domain: d.Domain, Rank: d.Rank, Credits: make(map[string]float64)}
 	if len(primary) == 0 {
 		return out
@@ -505,7 +510,7 @@ func attributeDomain(d *dataset.DomainRecord, primary []dataset.MXObs, mxAssign 
 			out.Credits[a.ProviderID] += share
 		}
 		for _, addr := range mx.Addrs {
-			if info, ok := s.IPs[addr.String()]; ok && info.Port25Open {
+			if info, ok := ips[addr.String()]; ok && info.Port25Open {
 				out.HasSMTP = true
 			}
 		}

@@ -92,7 +92,7 @@ func TestPaperTable3Priority(t *testing.T) {
 
 func TestPaperTable3CertGrouping(t *testing.T) {
 	s := table3Snapshot()
-	groups := GroupCertificates(collectCerts(s, s.Index()), nil)
+	groups := GroupCertificates(collectCerts(s.IPs, s.Index().SortedIPKeys), nil)
 	// Two groups: {cert1, cert2} and {vps cert}.
 	if groups.NumGroups() != 2 {
 		t.Errorf("NumGroups = %d, want 2", groups.NumGroups())

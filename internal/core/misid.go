@@ -31,7 +31,7 @@ import (
 //     an address inside a *different* profiled provider's AS whose
 //     Banner/EHLO agrees with that provider (the utexas.edu/Ironport
 //     case) — correct to the hosting provider's ID.
-func checkMisidentifications(res *Result, s *dataset.Snapshot, idx *dataset.Index, ipIDs map[string]ipIdentity, cfg Config, memo *psl.Memo) {
+func checkMisidentifications(res *Result, exchanges []dataset.MXObs, ips map[string]dataset.IPInfo, ipIDs map[string]ipIdentity, cfg Config, memo *psl.Memo) {
 	profiles := make(map[string]*ProviderProfile, len(cfg.Profiles))
 	asnOwner := make(map[asn.ASN]string)
 	for i := range cfg.Profiles {
@@ -42,11 +42,11 @@ func checkMisidentifications(res *Result, s *dataset.Snapshot, idx *dataset.Inde
 		}
 	}
 
-	// Walk the index's exchange inventory (first-appearance order) rather
-	// than the assignment map, so examinations happen in a deterministic
-	// order and the per-exchange sample observation needs no rescan of
-	// the domain list.
-	for _, mx := range idx.Exchanges {
+	// Walk the exchange inventory (first-appearance order) rather than
+	// the assignment map, so examinations happen in a deterministic order
+	// and the per-exchange sample observation needs no rescan of the
+	// domain list.
+	for _, mx := range exchanges {
 		a := res.MX[mx.Exchange]
 		prof, isProfiled := profiles[a.ProviderID]
 		if !isProfiled || a.Source == SourceMX {
@@ -60,25 +60,25 @@ func checkMisidentifications(res *Result, s *dataset.Snapshot, idx *dataset.Inde
 
 		switch a.Source {
 		case SourceBanner:
-			if !anyAddrInASNs(s, mx.Addrs, prof.ASNs) {
+			if !anyAddrInASNs(ips, mx.Addrs, prof.ASNs) {
 				correct(res, a, mxFallbackID(a.Exchange, memo), "banner claims "+prof.ID+" outside its AS")
 				continue
 			}
-			if host, ok := matchingHost(s, mx.Addrs, prof.VPSPatterns); ok {
+			if host, ok := matchingHost(ips, mx.Addrs, prof.VPSPatterns); ok {
 				correct(res, a, mxFallbackID(a.Exchange, memo), "VPS naming pattern "+host)
 				continue
 			}
 			a.Reason = "verified: banner claim inside provider AS"
 		case SourceCert:
-			if host, ok := matchingHost(s, mx.Addrs, prof.VPSPatterns); ok {
+			if host, ok := matchingHost(ips, mx.Addrs, prof.VPSPatterns); ok {
 				correct(res, a, mxFallbackID(a.Exchange, memo), "VPS naming pattern "+host)
 				continue
 			}
-			if host, ok := matchingHost(s, mx.Addrs, prof.DedicatedPatterns); ok {
+			if host, ok := matchingHost(ips, mx.Addrs, prof.DedicatedPatterns); ok {
 				a.Reason = "verified: dedicated host pattern " + host
 				continue
 			}
-			if owner, ok := hostingOwner(s, mx.Addrs, asnOwner, ipIDs, a.ProviderID); ok {
+			if owner, ok := hostingOwner(ips, mx.Addrs, asnOwner, ipIDs, a.ProviderID); ok {
 				correct(res, a, owner, "customer certificate on "+owner+" infrastructure")
 				continue
 			}
@@ -96,9 +96,9 @@ func correct(res *Result, a *MXAssignment, id, reason string) {
 
 // anyAddrInASNs reports whether any address originates from one of the
 // ASes.
-func anyAddrInASNs(s *dataset.Snapshot, addrs []netip.Addr, asns []asn.ASN) bool {
+func anyAddrInASNs(ips map[string]dataset.IPInfo, addrs []netip.Addr, asns []asn.ASN) bool {
 	for _, addr := range addrs {
-		info, ok := s.IPs[addr.String()]
+		info, ok := ips[addr.String()]
 		if !ok {
 			continue
 		}
@@ -113,12 +113,12 @@ func anyAddrInASNs(s *dataset.Snapshot, addrs []netip.Addr, asns []asn.ASN) bool
 
 // matchingHost scans the certificate names and Banner/EHLO hosts behind
 // the addresses for any host matching one of the glob patterns.
-func matchingHost(s *dataset.Snapshot, addrs []netip.Addr, patterns []string) (string, bool) {
+func matchingHost(ips map[string]dataset.IPInfo, addrs []netip.Addr, patterns []string) (string, bool) {
 	if len(patterns) == 0 {
 		return "", false
 	}
 	for _, addr := range addrs {
-		info, ok := s.IPs[addr.String()]
+		info, ok := ips[addr.String()]
 		if !ok || info.Scan == nil {
 			continue
 		}
@@ -143,10 +143,10 @@ func matchingHost(s *dataset.Snapshot, addrs []netip.Addr, patterns []string) (s
 // hostingOwner detects the customer-certificate case: every address sits
 // in some other profiled provider's AS and the Banner/EHLO identity
 // agrees with that provider rather than with the certificate.
-func hostingOwner(s *dataset.Snapshot, addrs []netip.Addr, asnOwner map[asn.ASN]string, ipIDs map[string]ipIdentity, certID string) (string, bool) {
+func hostingOwner(ips map[string]dataset.IPInfo, addrs []netip.Addr, asnOwner map[asn.ASN]string, ipIDs map[string]ipIdentity, certID string) (string, bool) {
 	owner := ""
 	for _, addr := range addrs {
-		info, ok := s.IPs[addr.String()]
+		info, ok := ips[addr.String()]
 		if !ok {
 			return "", false
 		}

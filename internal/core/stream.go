@@ -1,0 +1,130 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"mxmap/internal/dataset"
+	"mxmap/internal/parallel"
+	"mxmap/internal/psl"
+)
+
+// InferStream runs the selected approach over an on-disk snapshot
+// without materializing its domain list. The methodology is unchanged —
+// the run produces the same MX assignments and per-domain attributions
+// as Infer over the loaded snapshot — but memory scales with the
+// distinct-IP and distinct-exchange populations, which provider
+// concentration keeps orders of magnitude below the domain count.
+//
+// The stream is read three times:
+//
+//   - the IP section is materialized (it is the bounded side);
+//   - pass A over domains builds the deduplicated exchange inventory in
+//     first-appearance order plus the popularity counters, exactly what
+//     Snapshot.Index() precomputes for the in-memory path;
+//   - pass B re-reads domains, attributing each one and handing it to
+//     emit.
+//
+// emit receives every DomainAttribution in domain order; it may be nil
+// when only the MX assignments matter. The returned Result carries a nil
+// Domains slice — the attributions exist only during their emit call.
+func InferStream(st *dataset.Stream, approach Approach, cfg Config, emit func(DomainAttribution)) (*Result, error) {
+	memo := psl.NewMemo(cfg.pslOrDefault())
+	if cfg.ConfidenceThreshold == 0 {
+		cfg.ConfidenceThreshold = 5
+	}
+	workers := parallel.Workers(cfg.Parallelism)
+
+	ips, err := st.LoadIPs()
+	if err != nil {
+		return nil, err
+	}
+	sortedKeys := make([]string, 0, len(ips))
+	for k := range ips {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Strings(sortedKeys)
+
+	// Pass A — exchange inventory (first-appearance order, first-wins
+	// observation) and popularity counters, mirroring buildIndex plus
+	// popularity() in one sweep.
+	var (
+		exchanges []dataset.MXObs
+		exIndex   = make(map[string]int)
+		numIP     = make(map[string]int)
+		numCert   = make(map[string]int)
+		nDomains  int
+		seenIP    []string
+		seenCert  []string
+	)
+	err = st.ForEach(func(d *dataset.DomainRecord) error {
+		nDomains++
+		seenIP, seenCert = seenIP[:0], seenCert[:0]
+		for _, mx := range d.PrimaryMX() {
+			if _, ok := exIndex[mx.Exchange]; !ok {
+				exIndex[mx.Exchange] = len(exchanges)
+				// The streamed record is reused; own the retained copy.
+				kept := mx
+				kept.Addrs = append([]netip.Addr(nil), mx.Addrs...)
+				exchanges = append(exchanges, kept)
+			}
+			for _, a := range mx.Addrs {
+				key := a.String()
+				if containsStr(seenIP, key) {
+					continue
+				}
+				seenIP = append(seenIP, key)
+				numIP[key]++
+				if info, ok := ips[key]; ok && info.Scan != nil && info.Scan.CertFingerprint != "" {
+					if fp := info.Scan.CertFingerprint; !containsStr(seenCert, fp) {
+						seenCert = append(seenCert, fp)
+						numCert[fp]++
+					}
+				}
+			}
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 1-4 are identical to the in-memory path: they only consume
+	// the IP observations and the exchange inventory.
+	var groups *CertGroups
+	if approach == ApproachCertBased || approach == ApproachPriority {
+		certList := collectCerts(ips, sortedKeys)
+		if cfg.DisableCertGrouping {
+			groups = singletonGroups(certList, memo)
+		} else {
+			groups = groupCertificates(certList, memo)
+		}
+	}
+	ipIDs := computeIPIDs(ips, sortedKeys, groups, memo, cfg, workers)
+
+	res := &Result{Approach: approach, MX: make(map[string]*MXAssignment, len(exchanges))}
+	assigns := make([]*MXAssignment, len(exchanges))
+	parallel.Run(len(exchanges), workers, func(i int) {
+		assigns[i] = assignMX(exchanges[i], approach, ipIDs, numIP, numCert, ips, memo, cfg.PreferBannerOverCert)
+	})
+	for _, a := range assigns {
+		res.MX[a.Exchange] = a
+	}
+	if approach == ApproachPriority && len(cfg.Profiles) > 0 {
+		checkMisidentifications(res, exchanges, ips, ipIDs, cfg, memo)
+	}
+
+	// Pass B — step 5, one attribution at a time.
+	err = st.ForEach(func(d *dataset.DomainRecord) error {
+		att := attributeDomain(d, d.PrimaryMX(), res.MX, ips)
+		if emit != nil {
+			emit(att)
+		}
+		return nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.NumDomains = nDomains
+	return res, nil
+}

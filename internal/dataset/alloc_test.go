@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestWriteToAllocs guards the satellite pooling work: steady-state
+// serialization must not re-allocate the bufio writer or other per-call
+// buffers, so allocations stay a small per-line constant (the JSON
+// encoder's own work) with no large per-call term.
+func TestWriteToAllocs(t *testing.T) {
+	s := buildSnapshot(200)
+	// Warm the pools.
+	if _, err := s.WriteTo(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	lines := float64(len(s.Domains) + len(s.IPs) + 1)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.WriteTo(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perLine := allocs / lines; perLine > 8 {
+		t.Errorf("WriteTo allocates %.1f objects/line (%.0f total for %.0f lines); pooling regressed",
+			perLine, allocs, lines)
+	}
+}
+
+// TestReadAllocs guards the reader side: the scanner's line buffer must
+// come from the pool, so per-call allocation is dominated by the decoded
+// records themselves, not setup buffers.
+func TestReadAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	s := buildSnapshot(200)
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	lines := float64(len(s.Domains) + len(s.IPs) + 1)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Each decoded record legitimately allocates (slices, strings, map
+	// entries); the guard catches a large fixed buffer sneaking back in.
+	if perLine := allocs / lines; perLine > 40 {
+		t.Errorf("Read allocates %.1f objects/line; buffer pooling regressed", perLine)
+	}
+}
+
+// TestLongLineRead exercises the raised line limit: a record far past
+// the old 16MiB bound must read back intact.
+func TestLongLineRead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a ~20MiB record")
+	}
+	s := NewSnapshot("2021-06", "alexa")
+	big := make([]byte, 20<<20)
+	for i := range big {
+		big[i] = 'a' + byte(i%26)
+	}
+	s.AddDomain(DomainRecord{
+		Domain: "bigspf.example",
+		MX:     []MXObs{{Preference: 10, Exchange: "mx.example"}},
+		SPF:    "v=spf1 " + string(big),
+	})
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Domains) != 1 || len(got.Domains[0].SPF) != 7+len(big) {
+		t.Fatalf("long SPF record did not round-trip")
+	}
+}

@@ -1,5 +1,7 @@
 package dataset
 
+import "net/netip"
+
 // Category classifies how much of a domain's signal chain was observable,
 // reproducing the row structure of the paper's Table 4. Categories are
 // mutually exclusive and assigned hierarchically: a domain lands in the
@@ -86,6 +88,13 @@ func ValidFQDN(s string) bool {
 // snapshot's IP observations. Only the primary (most preferred) MX set is
 // considered, consistent with the paper's focus on the primary provider.
 func (s *Snapshot) Classify(d *DomainRecord) Category {
+	return ClassifyWith(d, s.IP)
+}
+
+// ClassifyWith is Classify against any IP-observation source, so
+// streaming passes can categorize domains without a materialized
+// Snapshot.
+func ClassifyWith(d *DomainRecord, lookup func(netip.Addr) (IPInfo, bool)) Category {
 	var (
 		anyIP, anyCensys, anyPort25 bool
 		anyValidCert, anyBanner     bool
@@ -93,7 +102,7 @@ func (s *Snapshot) Classify(d *DomainRecord) Category {
 	for _, mx := range d.PrimaryMX() {
 		for _, addr := range mx.Addrs {
 			anyIP = true
-			info, ok := s.IP(addr)
+			info, ok := lookup(addr)
 			if !ok || !info.HasCensys {
 				continue
 			}

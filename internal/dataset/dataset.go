@@ -119,6 +119,15 @@ type IPInfo struct {
 }
 
 // Snapshot is one dated measurement of one corpus.
+//
+// Concurrency contract: the mutators (AddDomain, AddIP, SortDomains) and
+// Index() all synchronize on one internal mutex, so concurrent adds
+// interleaved with index lookups are safe — each Index() call returns a
+// consistent immutable view of the snapshot at some point between the
+// surrounding mutations. Direct reads of the exported Domains/IPs fields
+// (including WriteTo and the analysis passes) are NOT synchronized; they
+// require that all mutation has quiesced, which is the natural state once
+// collection finishes.
 type Snapshot struct {
 	// Date is the snapshot label, e.g. "2021-06".
 	Date string `json:"date"`
@@ -132,10 +141,10 @@ type Snapshot struct {
 	// scan.Collector and folded into Health().
 	Stats CollectionStats `json:"-"`
 
-	// idx is the lazily built derived index (see Index); guarded by idxMu
-	// because concurrent inference runs may share one snapshot.
-	idxMu sync.Mutex
-	idx   *Index
+	// mu guards Domains/IPs mutation and the cached index, so concurrent
+	// producers and Index() readers may share one snapshot.
+	mu  sync.Mutex
+	idx *Index
 }
 
 // NewSnapshot creates an empty snapshot.
@@ -149,30 +158,39 @@ func (s *Snapshot) IP(addr netip.Addr) (IPInfo, bool) {
 	return info, ok
 }
 
-// AddDomain appends a domain record.
+// AddDomain appends a domain record. Safe for concurrent use with the
+// other mutators and Index().
 func (s *Snapshot) AddDomain(d DomainRecord) {
+	s.mu.Lock()
 	s.Domains = append(s.Domains, d)
-	s.invalidateIndex()
+	s.idx = nil
+	s.mu.Unlock()
 }
 
-// AddIP records an IP observation, replacing any previous one.
+// AddIP records an IP observation, replacing any previous one. Safe for
+// concurrent use with the other mutators and Index().
 func (s *Snapshot) AddIP(info IPInfo) {
+	s.mu.Lock()
 	s.IPs[info.Addr.String()] = info
-	s.invalidateIndex()
+	s.idx = nil
+	s.mu.Unlock()
 }
 
 // SortDomains orders domains lexicographically for deterministic output.
 func (s *Snapshot) SortDomains() {
+	s.mu.Lock()
 	sort.Slice(s.Domains, func(i, j int) bool { return s.Domains[i].Domain < s.Domains[j].Domain })
-	s.invalidateIndex()
+	s.idx = nil
+	s.mu.Unlock()
 }
 
 // jsonLine is the tagged union used for JSONL persistence.
 type jsonLine struct {
-	Kind   string          `json:"kind"` // "snapshot", "domain", "ip"
+	Kind   string          `json:"kind"` // "snapshot", "domain", "ip", "footer"
 	Header *snapshotHeader `json:"header,omitempty"`
 	Domain *DomainRecord   `json:"domain,omitempty"`
 	IP     *IPInfo         `json:"ip,omitempty"`
+	Footer *ShardFooter    `json:"footer,omitempty"`
 }
 
 type snapshotHeader struct {
@@ -192,11 +210,52 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// maxLineBytes bounds a single JSONL line on read. Records carrying long
+// SPF chains or TXT-heavy observations can run far past the bufio
+// default; the bound only exists to reject stream corruption, so it is
+// deliberately generous.
+const maxLineBytes = 64 << 20
+
+// bufWriterPool recycles the bufio.Writer used by WriteTo; snapshot
+// serialization is called once per shard spill, so per-call allocation of
+// the 64KiB buffer shows up at scale.
+var bufWriterPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, 64*1024) },
+}
+
+// lineBufPool recycles scanner line buffers for the readers. Buffers that
+// grew past the initial size are still pooled — a corpus with one huge
+// record tends to have more.
+var lineBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256*1024)
+		return &b
+	},
+}
+
+func getLineBuf() *[]byte  { return lineBufPool.Get().(*[]byte) }
+func putLineBuf(b *[]byte) { lineBufPool.Put(b) }
+
+// newLineScanner builds a bufio.Scanner over r with a pooled buffer and
+// the raised line limit. Release the returned buffer with putLineBuf once
+// scanning is done.
+func newLineScanner(r io.Reader) (*bufio.Scanner, *[]byte) {
+	sc := bufio.NewScanner(r)
+	buf := getLineBuf()
+	sc.Buffer(*buf, maxLineBytes)
+	return sc, buf
+}
+
 // WriteTo serializes the snapshot as JSON lines: one header line, then
 // one line per domain and per IP. It implements io.WriterTo.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
-	bw := bufio.NewWriter(cw)
+	bw := bufWriterPool.Get().(*bufio.Writer)
+	bw.Reset(cw)
+	defer func() {
+		bw.Reset(io.Discard)
+		bufWriterPool.Put(bw)
+	}()
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(jsonLine{Kind: "snapshot", Header: &snapshotHeader{Date: s.Date, Corpus: s.Corpus}}); err != nil {
 		return 0, err
@@ -240,8 +299,8 @@ func readNamed(r io.Reader, name string) (*Snapshot, error) {
 		}
 		return fmt.Sprintf("dataset: %s: line %d", name, lineno)
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	sc, lineBuf := newLineScanner(r)
+	defer putLineBuf(lineBuf)
 	var s *Snapshot
 	lineno := 0
 	for sc.Scan() {
@@ -272,6 +331,9 @@ func readNamed(r io.Reader, name string) (*Snapshot, error) {
 				return nil, fmt.Errorf("%s: ip before header", where(lineno))
 			}
 			s.AddIP(*line.IP)
+		case "footer":
+			// Shard files end with a footer line; ignoring it lets a
+			// single shard load as an ordinary snapshot.
 		default:
 			return nil, fmt.Errorf("%s: unknown kind %q", where(lineno), line.Kind)
 		}

@@ -7,7 +7,39 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 )
+
+// gzWriterPool and gzReaderPool recycle gzip codec state (the deflate
+// window alone is hundreds of KiB) across snapshot and shard writes;
+// sharded collection opens one stream per spill, per worker.
+var gzWriterPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+var gzReaderPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+
+func getGzWriter(w io.Writer) *gzip.Writer {
+	zw := gzWriterPool.Get().(*gzip.Writer)
+	zw.Reset(w)
+	return zw
+}
+
+func putGzWriter(zw *gzip.Writer) {
+	zw.Reset(io.Discard)
+	gzWriterPool.Put(zw)
+}
+
+func getGzReader(r io.Reader) (*gzip.Reader, error) {
+	zr := gzReaderPool.Get().(*gzip.Reader)
+	if err := zr.Reset(r); err != nil {
+		gzReaderPool.Put(zr)
+		return nil, err
+	}
+	return zr, nil
+}
+
+func putGzReader(zr *gzip.Reader) { gzReaderPool.Put(zr) }
 
 // WriteFile stores a snapshot at path in JSONL form, gzip-compressed when
 // the path ends in ".gz". Corpus-scale snapshots compress roughly 10x.
@@ -42,7 +74,8 @@ func atomicWrite(path string, write func(w io.Writer) error) (err error) {
 	var w io.Writer = f
 	var zw *gzip.Writer
 	if strings.HasSuffix(path, ".gz") {
-		zw = gzip.NewWriter(f)
+		zw = getGzWriter(f)
+		defer putGzWriter(zw)
 		w = zw
 	}
 	if err := write(w); err != nil {
@@ -91,11 +124,11 @@ func ReadFile(path string) (*Snapshot, error) {
 	defer f.Close()
 	var r io.Reader = f
 	if strings.HasSuffix(path, ".gz") {
-		zr, err := gzip.NewReader(f)
+		zr, err := getGzReader(f)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: %s: %w", path, err)
 		}
-		defer zr.Close()
+		defer putGzReader(zr)
 		r = zr
 	}
 	return readNamed(r, path)

@@ -182,9 +182,9 @@ func fsckSnapshot(path string, f *os.File) (*FsckReport, error) {
 		salvage    int // last line of the intact prefix
 		headerSeen bool
 		damaged    bool
-		domainAt   = make(map[string]int)  // domain -> first line
-		refs       = make(map[string]int)  // referenced addr -> first referencing line
-		ipAt       = make(map[string]int)  // ip record addr -> line
+		domainAt   = make(map[string]int) // domain -> first line
+		refs       = make(map[string]int) // referenced addr -> first referencing line
+		ipAt       = make(map[string]int) // ip record addr -> line
 	)
 	for sc.Scan() {
 		lineno++

@@ -70,6 +70,38 @@ func FuzzJournalRead(f *testing.F) {
 	})
 }
 
+// FuzzShardFooter drives the shard footer parser with arbitrary bytes:
+// it must return a footer or an error, never panic, and any footer it
+// accepts must satisfy the documented invariants.
+func FuzzShardFooter(f *testing.F) {
+	f.Add([]byte(`{"kind":"footer","footer":{"seq":3,"first_domain":"a.example","last_domain":"z.example","domains":10,"ips":4}}`))
+	f.Add([]byte(`{"kind":"footer","footer":{"seq":0,"domains":0,"ips":0}}`))
+	f.Add([]byte(`{"kind":"footer","footer":{"seq":-1,"domains":1,"ips":0}}`))
+	f.Add([]byte(`{"kind":"domain","domain":{"domain":"x.example","mx":[]}}`))
+	f.Add([]byte(`{"kind":"footer"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		footer, err := ParseShardFooter(data)
+		if err != nil {
+			return
+		}
+		if footer == nil {
+			t.Fatal("nil footer without error")
+		}
+		if footer.Domains < 0 || footer.IPs < 0 || footer.Seq < 0 {
+			t.Fatalf("accepted negative counts: %+v", footer)
+		}
+		if (footer.Domains == 0) != (footer.FirstDomain == "" && footer.LastDomain == "") {
+			t.Fatalf("accepted inconsistent domain range: %+v", footer)
+		}
+		if footer.FirstDomain > footer.LastDomain {
+			t.Fatalf("accepted inverted range: %+v", footer)
+		}
+	})
+}
+
 // FuzzRead drives the snapshot JSONL reader with arbitrary bytes: it
 // must return a snapshot or an error, never panic.
 func FuzzRead(f *testing.F) {

@@ -29,21 +29,18 @@ type Index struct {
 }
 
 // Index returns the snapshot's derived index, building it on first use.
-// It is safe for concurrent use; callers must not mutate the returned
-// value. Mutating the snapshot invalidates the cached index.
+// It is safe for concurrent use — including interleaved with AddDomain/
+// AddIP/SortDomains, since the build runs under the same mutex as the
+// mutators — and callers must not mutate the returned value. Mutating the
+// snapshot invalidates the cached index; an Index obtained before a
+// mutation remains a valid immutable view of the earlier state.
 func (s *Snapshot) Index() *Index {
-	s.idxMu.Lock()
-	defer s.idxMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.idx == nil {
 		s.idx = buildIndex(s)
 	}
 	return s.idx
-}
-
-func (s *Snapshot) invalidateIndex() {
-	s.idxMu.Lock()
-	s.idx = nil
-	s.idxMu.Unlock()
 }
 
 func buildIndex(s *Snapshot) *Index {

@@ -1,0 +1,291 @@
+package scan
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"mxmap/internal/dataset"
+	"mxmap/internal/dns"
+	"mxmap/internal/world"
+)
+
+// runDispatch drives the dispatcher with racing workers over shard
+// boundaries and returns how often each index was claimed plus the
+// steal count.
+func runDispatch(n, workers, chunk int, bounds []int) ([]int32, int) {
+	d := &dispatcher{chunk: chunk, inflight: make(map[*fleetShard]bool)}
+	for i := 0; i+1 < len(bounds); i++ {
+		d.queue = append(d.queue, &fleetShard{next: bounds[i], end: bounds[i+1]})
+	}
+	counts := make([]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := d.acquire()
+				if s == nil {
+					return
+				}
+				for {
+					lo, hi := s.claim(d.chunk)
+					if lo == hi {
+						break
+					}
+					for i := lo; i < hi; i++ {
+						counts[i]++ // exactly-once means no racing writers
+					}
+				}
+				d.release(s)
+			}
+		}()
+	}
+	wg.Wait()
+	return counts, d.steals
+}
+
+// TestDispatcherExactlyOnce drives the work-stealing dispatcher with
+// racing workers and checks every index is claimed exactly once.
+func TestDispatcherExactlyOnce(t *testing.T) {
+	const n = 10_000
+	// Deliberately uneven shards, including empty ones.
+	counts, steals := runDispatch(n, 8, 7, []int{0, 0, 13, 13, 4000, 4001, 9000, n})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d claimed %d times", i, c)
+		}
+	}
+	t.Logf("steals: %d", steals)
+}
+
+// TestDispatcherSteals pins the interleaving the racing test cannot
+// guarantee: with the queue empty and one shard in flight, an idle
+// worker must walk away with its back half — and nothing else.
+func TestDispatcherSteals(t *testing.T) {
+	d := &dispatcher{chunk: 10, inflight: make(map[*fleetShard]bool)}
+	d.queue = []*fleetShard{{next: 0, end: 1000}}
+	owner := d.acquire()
+	lo, hi := owner.claim(d.chunk)
+	if lo != 0 || hi != 10 {
+		t.Fatalf("owner claimed [%d,%d), want [0,10)", lo, hi)
+	}
+
+	stolen := d.acquire()
+	if stolen == nil || stolen == owner {
+		t.Fatalf("thief got %v, want a split of the in-flight shard", stolen)
+	}
+	if d.steals != 1 {
+		t.Fatalf("steals = %d, want 1", d.steals)
+	}
+	// 990 remained; the thief takes the back 495.
+	if got := stolen.remaining(); got != 495 {
+		t.Errorf("thief holds %d targets, want 495", got)
+	}
+	if got := owner.remaining(); got != 495 {
+		t.Errorf("owner keeps %d targets, want 495", got)
+	}
+	if slo, _ := stolen.claim(1); slo != 505 {
+		t.Errorf("thief starts at %d, want 505", slo)
+	}
+
+	// Below two chunks remaining, the shard is no longer worth
+	// splitting: a third worker finds nothing.
+	owner.next = owner.end - 2*d.chunk + 1
+	stolen.next = stolen.end
+	if s := d.acquire(); s != nil {
+		t.Fatalf("acquire split a shard with %d remaining (< 2 chunks)", 2*d.chunk-1)
+	}
+}
+
+func fleetCollect(t *testing.T, s *WorldSession, dir string, workers int, journals []*dataset.Journal) (string, *FleetStats) {
+	t.Helper()
+	set := dataset.NewShardSet(filepath.Join(dir, "snap.jsonl.gz"), "2021-06", world.CorpusAlexa)
+	set.MaxBuffered = 128 // force several spills per worker
+	targets, err := s.Targets(world.CorpusAlexa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := CollectFleet(context.Background(), FleetConfig{
+		Corpus:  world.CorpusAlexa,
+		Date:    "2021-06",
+		Workers: workers,
+		NewCollector: func(int) (*Collector, error) {
+			return s.NewCollector(world.CorpusAlexa, "2021-06")
+		},
+		Output:   set,
+		Journals: journals,
+	}, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "merged.jsonl.gz")
+	if _, err := dataset.Merge(out, set.Paths()); err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+// TestFleetMatchesSingleWorker is the fleet's core promise: on a
+// deterministic world, a 4-worker run merges to the same bytes as a
+// 1-worker run, and both match the in-memory collector's sorted
+// snapshot.
+func TestFleetMatchesSingleWorker(t *testing.T) {
+	s := session(t)
+	dir1, dir4 := t.TempDir(), t.TempDir()
+	out1, stats1 := fleetCollect(t, s, dir1, 1, nil)
+	out4, stats4 := fleetCollect(t, s, dir4, 4, nil)
+
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := os.ReadFile(out4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b4) {
+		t.Fatalf("merged output differs between 1 and 4 workers (%d vs %d bytes)", len(b1), len(b4))
+	}
+	if stats1.Domains != stats4.Domains || stats1.IPs != stats4.IPs {
+		t.Fatalf("record counts differ: %+v vs %+v", stats1, stats4)
+	}
+
+	// The in-memory path agrees once sorted into canonical order.
+	snap, err := s.Snapshot(context.Background(), world.CorpusAlexa, "2021-06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.SortDomains()
+	direct := filepath.Join(dir1, "direct.jsonl.gz")
+	if err := dataset.WriteFile(direct, snap); err != nil {
+		t.Fatal(err)
+	}
+	bd, err := os.ReadFile(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b4, bd) {
+		t.Fatalf("fleet output differs from in-memory collector (%d vs %d bytes)", len(b4), len(bd))
+	}
+	if stats4.Domains != len(snap.Domains) || stats4.IPs != len(snap.IPs) {
+		t.Fatalf("fleet counted %d/%d records, snapshot has %d/%d",
+			stats4.Domains, stats4.IPs, len(snap.Domains), len(snap.IPs))
+	}
+}
+
+// TestFleetJournalsAndResume exercises the per-worker WAL: a fleet run
+// journals every record, the journals recover to the full dataset, and
+// a resumed fleet splices the recovered records without re-measuring.
+func TestFleetJournalsAndResume(t *testing.T) {
+	s := session(t)
+	dir := t.TempDir()
+	const nw = 3
+	journals := make([]*dataset.Journal, nw)
+	for i := range journals {
+		j, err := dataset.CreateJournal(journalPathFor(dir, i), "2021-06", world.CorpusAlexa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		journals[i] = j
+	}
+	out, stats := fleetCollect(t, s, dir, nw, journals)
+	for _, j := range journals {
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Recover all worker journals and union them.
+	prior := dataset.NewSnapshot("2021-06", world.CorpusAlexa)
+	seen := make(map[string]bool)
+	var entries int
+	for i := 0; i < nw; i++ {
+		rec, err := dataset.RecoverJournal(journalPathFor(dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range rec.Seen {
+			seen[d] = true
+		}
+		for j := range rec.Snapshot.Domains {
+			prior.AddDomain(rec.Snapshot.Domains[j])
+		}
+		for _, info := range rec.Snapshot.IPs {
+			prior.AddIP(info)
+		}
+		entries += rec.Entries
+	}
+	if len(seen) != stats.Domains {
+		t.Fatalf("journals recovered %d domains, fleet measured %d", len(seen), stats.Domains)
+	}
+	if len(prior.IPs) != stats.IPs {
+		t.Fatalf("journals recovered %d IPs, fleet scanned %d", len(prior.IPs), stats.IPs)
+	}
+
+	// A fully-seen resume must splice everything and merge to the same
+	// bytes without touching the network.
+	dir2 := t.TempDir()
+	set := dataset.NewShardSet(filepath.Join(dir2, "snap.jsonl.gz"), "2021-06", world.CorpusAlexa)
+	targets, err := s.Targets(world.CorpusAlexa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := CollectFleet(context.Background(), FleetConfig{
+		Corpus:  world.CorpusAlexa,
+		Date:    "2021-06",
+		Workers: 2,
+		NewCollector: func(int) (*Collector, error) {
+			// A resolver-less collector proves nothing is re-measured.
+			return &Collector{Resolver: noCallResolver{t}, Dialer: s.Net}, nil
+		},
+		Output: set,
+		Prior:  prior,
+		Seen:   seen,
+	}, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Domains != stats.Domains || stats2.IPs != stats.IPs {
+		t.Fatalf("resumed run wrote %d/%d records, want %d/%d",
+			stats2.Domains, stats2.IPs, stats.Domains, stats.IPs)
+	}
+	out2 := filepath.Join(dir2, "merged.jsonl.gz")
+	if _, err := dataset.Merge(out2, set.Paths()); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(out)
+	b2, _ := os.ReadFile(out2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("resumed fleet output differs from the original run")
+	}
+}
+
+func journalPathFor(dir string, worker int) string {
+	return filepath.Join(dir, fmt.Sprintf("snap.journal.w%02d", worker))
+}
+
+// noCallResolver fails the test on any lookup: a fully-seen resume must
+// never touch the network.
+type noCallResolver struct{ t *testing.T }
+
+func (r noCallResolver) LookupMX(context.Context, string) ([]dns.MXData, error) {
+	r.t.Error("resumed fleet issued an MX lookup")
+	return nil, dns.ErrNXDomain
+}
+
+func (r noCallResolver) LookupA(context.Context, string) ([]netip.Addr, error) {
+	r.t.Error("resumed fleet issued an A lookup")
+	return nil, dns.ErrNXDomain
+}
+
+func (r noCallResolver) LookupAAAA(context.Context, string) ([]netip.Addr, error) {
+	r.t.Error("resumed fleet issued an AAAA lookup")
+	return nil, dns.ErrNXDomain
+}

@@ -104,6 +104,26 @@ type collectRun struct {
 	scanRetries atomic.Int64
 }
 
+// newRun builds the resilience state for one collection run from the
+// collector's retry and breaker configuration.
+func (c *Collector) newRun() *collectRun {
+	return &collectRun{
+		retry:    newRetryState(c.Retry),
+		breakers: newBreakerSet(c.BreakerThreshold),
+	}
+}
+
+// stats snapshots the run's resilience counters.
+func (run *collectRun) stats() dataset.CollectionStats {
+	return dataset.CollectionStats{
+		DNSRetries:      int(run.dnsRetries.Load()),
+		ScanRetries:     int(run.scanRetries.Load()),
+		BudgetExhausted: run.retry.exhausted.Load(),
+		BreakerOpens:    int(run.breakers.opens.Load()),
+		BreakerSkips:    int(run.breakers.skips.Load()),
+	}
+}
+
 // aResult is one exchange's address-resolution outcome.
 type aResult struct {
 	addrs []netip.Addr
@@ -118,6 +138,137 @@ func (r aResult) definitive() bool {
 	return !r.class.Transient()
 }
 
+// aFlight is one in-progress address resolution shared by concurrent
+// callers (singleflight).
+type aFlight struct {
+	done chan struct{}
+	res  aResult
+}
+
+// domainResolver is the per-run DNS machinery for phase 1: the MX→A
+// pipeline with singleflight address deduplication and the optional
+// SPF/TXT lookup. One instance serves all goroutines of a run; in a
+// fleet each worker owns its own (its cache rides its own resolver).
+type domainResolver struct {
+	c   *Collector
+	run *collectRun
+
+	mu       sync.Mutex
+	aCache   map[string]aResult
+	aFlights map[string]*aFlight
+
+	txt    dns.TXTResolver
+	hasTXT bool
+}
+
+// newDomainResolver builds the phase-1 pipeline bound to one run's
+// retry budget and breakers.
+func (c *Collector) newDomainResolver(run *collectRun) *domainResolver {
+	dr := &domainResolver{
+		c:        c,
+		run:      run,
+		aCache:   make(map[string]aResult),
+		aFlights: make(map[string]*aFlight),
+	}
+	dr.txt, dr.hasTXT = c.Resolver.(dns.TXTResolver)
+	return dr
+}
+
+// lookupAddrs resolves one host's A (and best-effort AAAA) records
+// under the run's retry budget.
+func (dr *domainResolver) lookupAddrs(ctx context.Context, host string) aResult {
+	var res aResult
+	class, retries := dr.run.retry.do(ctx, func() (dataset.FailureClass, bool) {
+		addrs, err := dr.c.Resolver.LookupA(ctx, host)
+		res = aResult{addrs: addrs, class: ClassifyDNS(err)}
+		if res.class.Failed() {
+			res.addrs = nil
+			return res.class, true
+		}
+		// The IPv6 extension: collect AAAA records alongside A
+		// (best-effort; the A outcome drives retries).
+		if v6, err := dr.c.Resolver.LookupAAAA(ctx, host); err == nil {
+			res.addrs = append(res.addrs, v6...)
+		}
+		return res.class, true
+	})
+	res.class = class
+	dr.run.dnsRetries.Add(int64(retries))
+	return res
+}
+
+// resolveA deduplicates address lookups with singleflight semantics:
+// the first caller for a host resolves it, concurrent callers block on
+// that flight's result instead of issuing duplicate queries for popular
+// exchanges. Only definitive outcomes are memoized; a transiently
+// failed flight is forgotten so a later caller (budget permitting)
+// tries again.
+func (dr *domainResolver) resolveA(ctx context.Context, host string) aResult {
+	dr.mu.Lock()
+	if res, ok := dr.aCache[host]; ok {
+		dr.mu.Unlock()
+		return res
+	}
+	if f, ok := dr.aFlights[host]; ok {
+		dr.mu.Unlock()
+		<-f.done
+		// Concurrent waiters share the flight's outcome even when
+		// transient; only callers arriving after it finished
+		// re-resolve (the flight itself already retried).
+		return f.res
+	}
+	f := &aFlight{done: make(chan struct{})}
+	dr.aFlights[host] = f
+	dr.mu.Unlock()
+
+	f.res = dr.lookupAddrs(ctx, host)
+	dr.mu.Lock()
+	delete(dr.aFlights, host)
+	if f.res.definitive() {
+		dr.aCache[host] = f.res
+	}
+	dr.mu.Unlock()
+	close(f.done)
+	return f.res
+}
+
+// collectDomain measures one target: MX set, each exchange's addresses,
+// and the SPF record when the resolver supports TXT.
+func (dr *domainResolver) collectDomain(ctx context.Context, t Target) dataset.DomainRecord {
+	rec := dataset.DomainRecord{Domain: t.Name, Rank: t.Rank}
+	if ctx.Err() != nil {
+		return rec
+	}
+	var mxs []dns.MXData
+	class, retries := dr.run.retry.do(ctx, func() (dataset.FailureClass, bool) {
+		var err error
+		mxs, err = dr.c.Resolver.LookupMX(ctx, t.Name)
+		return ClassifyDNS(err), true
+	})
+	rec.Failure = class
+	dr.run.dnsRetries.Add(int64(retries))
+	for _, mx := range mxs {
+		res := dr.resolveA(ctx, mx.Exchange)
+		rec.MX = append(rec.MX, dataset.MXObs{
+			Preference: mx.Preference,
+			Exchange:   mx.Exchange,
+			Addrs:      res.addrs,
+			Failure:    res.class,
+		})
+	}
+	if dr.hasTXT && ctx.Err() == nil {
+		if txts, err := dr.txt.LookupTXT(ctx, t.Name); err == nil {
+			for _, txt := range txts {
+				if strings.HasPrefix(strings.ToLower(txt), "v=spf1") {
+					rec.SPF = txt
+					break
+				}
+			}
+		}
+	}
+	return rec
+}
+
 // Collect measures the given domains and assembles a snapshot labelled
 // with the date and corpus name. Partial failure degrades per record —
 // every DNS and scan outcome is classified on the record rather than
@@ -129,10 +280,7 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 		workers = 32
 	}
 	snap := dataset.NewSnapshot(date, corpus)
-	run := &collectRun{
-		retry:    newRetryState(c.Retry),
-		breakers: newBreakerSet(c.BreakerThreshold),
-	}
+	run := c.newRun()
 
 	// Resume state: records recovered from a journal are spliced in
 	// instead of re-measured. Completion callbacks are serialized, and
@@ -166,73 +314,10 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 	}
 
 	// Phase 1: DNS. Resolve every domain's MX set and every distinct
-	// exchange's A set. Address lookups are deduplicated with
-	// singleflight semantics: the first caller for a host resolves it,
-	// concurrent callers block on that flight's result instead of
-	// issuing duplicate queries for popular exchanges. Only definitive
-	// outcomes are memoized; a transiently failed flight is forgotten so
-	// a later caller (budget permitting) tries again.
+	// exchange's A set (see domainResolver for the singleflight
+	// deduplication of address lookups).
 	records := make([]dataset.DomainRecord, len(domains))
-	type aFlight struct {
-		done chan struct{}
-		res  aResult
-	}
-	var (
-		aMu      sync.Mutex
-		aCache   = make(map[string]aResult)
-		aFlights = make(map[string]*aFlight)
-	)
-	lookupAddrs := func(host string) aResult {
-		var res aResult
-		class, retries := run.retry.do(ctx, func() (dataset.FailureClass, bool) {
-			addrs, err := c.Resolver.LookupA(ctx, host)
-			res = aResult{addrs: addrs, class: ClassifyDNS(err)}
-			if res.class.Failed() {
-				res.addrs = nil
-				return res.class, true
-			}
-			// The IPv6 extension: collect AAAA records alongside A
-			// (best-effort; the A outcome drives retries).
-			if v6, err := c.Resolver.LookupAAAA(ctx, host); err == nil {
-				res.addrs = append(res.addrs, v6...)
-			}
-			return res.class, true
-		})
-		res.class = class
-		run.dnsRetries.Add(int64(retries))
-		return res
-	}
-	resolveA := func(host string) aResult {
-		for {
-			aMu.Lock()
-			if res, ok := aCache[host]; ok {
-				aMu.Unlock()
-				return res
-			}
-			if f, ok := aFlights[host]; ok {
-				aMu.Unlock()
-				<-f.done
-				// Concurrent waiters share the flight's outcome even when
-				// transient; only callers arriving after it finished
-				// re-resolve (the flight itself already retried).
-				return f.res
-			}
-			f := &aFlight{done: make(chan struct{})}
-			aFlights[host] = f
-			aMu.Unlock()
-
-			f.res = lookupAddrs(host)
-			aMu.Lock()
-			delete(aFlights, host)
-			if f.res.definitive() {
-				aCache[host] = f.res
-			}
-			aMu.Unlock()
-			close(f.done)
-			return f.res
-		}
-	}
-	txtResolver, hasTXT := c.Resolver.(dns.TXTResolver)
+	dr := c.newDomainResolver(run)
 	parallel.Run(len(domains), workers, func(i int) {
 		if c.seen[domains[i].Name] {
 			if prior, ok := priorDomain[domains[i].Name]; ok {
@@ -240,39 +325,7 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 				return
 			}
 		}
-		rec := dataset.DomainRecord{Domain: domains[i].Name, Rank: domains[i].Rank}
-		if ctx.Err() != nil {
-			records[i] = rec
-			return
-		}
-		var mxs []dns.MXData
-		class, retries := run.retry.do(ctx, func() (dataset.FailureClass, bool) {
-			var err error
-			mxs, err = c.Resolver.LookupMX(ctx, domains[i].Name)
-			return ClassifyDNS(err), true
-		})
-		rec.Failure = class
-		run.dnsRetries.Add(int64(retries))
-		for _, mx := range mxs {
-			res := resolveA(mx.Exchange)
-			rec.MX = append(rec.MX, dataset.MXObs{
-				Preference: mx.Preference,
-				Exchange:   mx.Exchange,
-				Addrs:      res.addrs,
-				Failure:    res.class,
-			})
-		}
-		if hasTXT && ctx.Err() == nil {
-			if txts, err := txtResolver.LookupTXT(ctx, domains[i].Name); err == nil {
-				for _, txt := range txts {
-					if strings.HasPrefix(strings.ToLower(txt), "v=spf1") {
-						rec.SPF = txt
-						break
-					}
-				}
-			}
-		}
-		records[i] = rec
+		records[i] = dr.collectDomain(ctx, domains[i])
 		emitDomain(&records[i])
 	})
 	if err := ctx.Err(); err != nil {
@@ -312,13 +365,7 @@ func (c *Collector) Collect(ctx context.Context, corpus, date string, domains []
 	for _, info := range infos {
 		snap.AddIP(info)
 	}
-	snap.Stats = dataset.CollectionStats{
-		DNSRetries:      int(run.dnsRetries.Load()),
-		ScanRetries:     int(run.scanRetries.Load()),
-		BudgetExhausted: run.retry.exhausted.Load(),
-		BreakerOpens:    int(run.breakers.opens.Load()),
-		BreakerSkips:    int(run.breakers.skips.Load()),
-	}
+	snap.Stats = run.stats()
 	return snap, nil
 }
 

@@ -45,6 +45,24 @@ func (s *WorldSession) Snapshot(ctx context.Context, corpusName, date string) (*
 // before the run starts — journal callbacks, resume state, retry
 // policy overrides.
 func (s *WorldSession) SnapshotWith(ctx context.Context, corpusName, date string, configure func(*Collector)) (*dataset.Snapshot, error) {
+	col, err := s.NewCollector(corpusName, date)
+	if err != nil {
+		return nil, err
+	}
+	if configure != nil {
+		configure(col)
+	}
+	targets, err := s.Targets(corpusName)
+	if err != nil {
+		return nil, err
+	}
+	return col.Collect(ctx, corpusName, date, targets)
+}
+
+// NewCollector builds a collector measuring one corpus date over the
+// session's fabric. Each call returns an independent collector, so it
+// doubles as the per-worker constructor for CollectFleet.
+func (s *WorldSession) NewCollector(corpusName, date string) (*Collector, error) {
 	corpus := s.World.Corpus(corpusName)
 	if corpus == nil {
 		return nil, fmt.Errorf("scan: unknown corpus %q", corpusName)
@@ -57,7 +75,7 @@ func (s *WorldSession) SnapshotWith(ctx context.Context, corpusName, date string
 	if err != nil {
 		return nil, err
 	}
-	col := &Collector{
+	return &Collector{
 		Resolver:   dns.CatalogResolver{Catalog: catalog},
 		Dialer:     s.Net,
 		Trust:      s.World.Trust,
@@ -73,13 +91,18 @@ func (s *WorldSession) SnapshotWith(ctx context.Context, corpusName, date string
 			}
 			return h.CensysMode.CoveredAt(dateIdx)
 		},
-	}
-	if configure != nil {
-		configure(col)
+	}, nil
+}
+
+// Targets returns the corpus domain list as collection targets.
+func (s *WorldSession) Targets(corpusName string) ([]Target, error) {
+	corpus := s.World.Corpus(corpusName)
+	if corpus == nil {
+		return nil, fmt.Errorf("scan: unknown corpus %q", corpusName)
 	}
 	targets := make([]Target, len(corpus.Domains))
 	for i, d := range corpus.Domains {
 		targets[i] = Target{Name: d.Name, Rank: d.Rank}
 	}
-	return col.Collect(ctx, corpusName, date, targets)
+	return targets, nil
 }

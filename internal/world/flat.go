@@ -1,0 +1,482 @@
+package world
+
+import (
+	"context"
+	"crypto/tls"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"mxmap/internal/asn"
+	"mxmap/internal/certs"
+	"mxmap/internal/companies"
+	"mxmap/internal/dns"
+	"mxmap/internal/smtp"
+)
+
+// FlatConfig parameterizes a FlatWorld.
+type FlatConfig struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// NumDomains is the corpus size. Unlike Config.Scale there is no
+	// cap: tens of millions of domains cost no more memory than ten.
+	NumDomains int
+	// Corpus selects the share table (default CorpusCOM, the corpus the
+	// paper measures at half-million scale).
+	Corpus string
+	// TailProviders is the number of synthetic long-tail providers
+	// splitting the residual market (default 40).
+	TailProviders int
+	// SelfHostedPercent overrides the corpus's calibrated self-hosting
+	// share (percent; 0 keeps the calibrated value).
+	SelfHostedPercent float64
+}
+
+// noMXPercent is the flat world's share of domains with no MX record at
+// all (the resolver answers NoData, the paper's "no mail service"
+// case).
+const noMXPercent = 2.0
+
+// flatProvider is one mail company in a flat world: a couple of MX
+// hosts, a handful of addresses, one certificate.
+type flatProvider struct {
+	company string
+	id      string
+	asn     asn.ASN
+	// hosts are the MX exchange names; addrs[i] are host i's addresses.
+	hosts []string
+	addrs [][]netip.Addr
+	// leaf is the STARTTLS certificate covering all hosts; nil means
+	// banner-only servers.
+	leaf *certs.Leaf
+	// threshold is the cumulative assignment bound: a domain with
+	// assignment draw u < threshold belongs to the first provider whose
+	// threshold exceeds u.
+	threshold float64
+}
+
+// FlatWorld is the million-domain counterpart of World: domains are a
+// pure function of their index — name, provider assignment, addresses
+// are all computed on demand — so corpus size costs no memory. The
+// trade is depth for scale: one snapshot date, no stint timelines, no
+// per-domain corner-case modes beyond self-hosting, provider shares
+// taken from the paper's final-snapshot calibration.
+//
+// It plugs into the same measurement stack as World: Resolver answers
+// MX/A/AAAA with dns semantics, Dialer serves a real SMTP conversation
+// (banner, EHLO, STARTTLS with the provider's CA-signed certificate)
+// over an in-process pipe for every dial.
+type FlatWorld struct {
+	Cfg FlatConfig
+	// Trust validates the world's certificates.
+	Trust *certs.TrustStore
+	// Prefixes and ASRegistry map the world's address plan to ASNs.
+	Prefixes   *asn.Table
+	ASRegistry *asn.Registry
+	// Directory maps provider IDs to companies for analysis.
+	Directory *companies.Directory
+
+	providers  []*flatProvider
+	byID       map[string]*flatProvider
+	byAddr     map[netip.Addr]*flatHost
+	selfCut    float64 // assignment draws below this self-host
+	noMXCut    float64 // ... and below this have no MX at all
+	digits     int
+	namePrefix string
+	nameSuffix string
+}
+
+// flatHost is the serving identity of one provider address.
+type flatHost struct {
+	hostname string
+	leaf     *certs.Leaf
+}
+
+// NewFlatWorld builds the provider roster and address plan. Cost is
+// O(providers), independent of NumDomains.
+func NewFlatWorld(cfg FlatConfig) (*FlatWorld, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Corpus == "" {
+		cfg.Corpus = CorpusCOM
+	}
+	if cfg.TailProviders == 0 {
+		cfg.TailProviders = 40
+	}
+	if cfg.NumDomains <= 0 {
+		return nil, fmt.Errorf("world: flat world needs a domain count")
+	}
+	anchors := anchorsFor(cfg.Corpus)
+	if anchors == nil {
+		return nil, fmt.Errorf("world: unknown corpus %q", cfg.Corpus)
+	}
+	fw := &FlatWorld{
+		Cfg:        cfg,
+		Prefixes:   asn.NewTable(),
+		ASRegistry: asn.NewRegistry(),
+		Directory:  companies.Curated(),
+		byID:       make(map[string]*flatProvider),
+		byAddr:     make(map[netip.Addr]*flatHost),
+		// Each domain is its own registered domain ("d000000042.com"),
+		// so self-hosting attribution (provider ID == registered domain)
+		// works exactly as in the full world.
+		namePrefix: "d",
+		nameSuffix: ".com",
+		digits:     9,
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x666c6174)) // "flat"
+	ca, err := certs.NewCA("Flat World Root CA", rng)
+	if err != nil {
+		return nil, err
+	}
+	fw.Trust = certs.NewTrustStore(ca)
+
+	byName := make(map[string]*companies.Company)
+	for _, c := range fw.Directory.Companies() {
+		byName[c.Name] = c
+	}
+
+	selfPct := cfg.SelfHostedPercent
+	cum := noMXPercent
+	fw.noMXCut = cum / 100
+	for _, a := range anchors {
+		if a.company == selfHostedKey {
+			if selfPct == 0 {
+				selfPct = a.end
+			}
+			continue
+		}
+		c, ok := byName[a.company]
+		if !ok || len(c.ProviderIDs) == 0 {
+			continue // share folds into the long tail
+		}
+		cum += a.end
+		p := &flatProvider{
+			company:   a.company,
+			id:        c.ProviderIDs[0],
+			threshold: cum, // provisional, shifted below
+		}
+		if len(c.ASNs) > 0 {
+			p.asn = c.ASNs[0]
+		}
+		fw.providers = append(fw.providers, p)
+	}
+	// Self-hosting sits between "no MX" and the provider ladder, so the
+	// provider thresholds all shift up by its share.
+	fw.selfCut = (noMXPercent + selfPct) / 100
+	for _, p := range fw.providers {
+		p.threshold = (p.threshold + selfPct) / 100
+	}
+	// The long tail splits the residue evenly.
+	last := fw.selfCut
+	if n := len(fw.providers); n > 0 {
+		last = fw.providers[n-1].threshold
+	}
+	residue := 1.0 - last
+	if residue < 0 {
+		return nil, fmt.Errorf("world: %s shares exceed 100%%", cfg.Corpus)
+	}
+	for j := 0; j < cfg.TailProviders; j++ {
+		id := fmt.Sprintf("tail%03d-mail.net", j)
+		p := &flatProvider{
+			company:   id, // unmapped long tail keeps its provider ID
+			id:        id,
+			threshold: last + residue*float64(j+1)/float64(cfg.TailProviders),
+		}
+		fw.providers = append(fw.providers, p)
+	}
+
+	// Materialize infrastructure: two MX hosts of two addresses each,
+	// a /16 per provider, one CA-signed certificate for the curated
+	// providers (the long tail is banner-only).
+	for i, p := range fw.providers {
+		if p.asn == 0 {
+			p.asn = asn.ASN(64000 + i)
+		}
+		fw.ASRegistry.Register(asn.AS{
+			Number: p.asn, Name: p.company, Org: p.company, CountryCode: "US",
+		})
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(1 + i), 0, 0}), 16)
+		if err := fw.Prefixes.Insert(prefix, p.asn); err != nil {
+			return nil, err
+		}
+		p.hosts = []string{"mx1." + p.id, "mx2." + p.id}
+		if p.company != p.id { // curated provider: browser-trusted TLS
+			leaf, err := ca.Issue(certs.LeafSpec{
+				CommonName: p.hosts[0],
+				DNSNames:   p.hosts,
+				Org:        p.company,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			p.leaf = leaf
+		}
+		p.addrs = make([][]netip.Addr, len(p.hosts))
+		for h := range p.hosts {
+			for k := 0; k < 2; k++ {
+				a := netip.AddrFrom4([4]byte{10, byte(1 + i), byte(h), byte(1 + k)})
+				p.addrs[h] = append(p.addrs[h], a)
+				fw.byAddr[a] = &flatHost{hostname: p.hosts[h], leaf: p.leaf}
+			}
+		}
+		fw.byID[p.id] = p
+	}
+
+	// Access ISPs for the self-hosted tail: one /16 per 65k domains out
+	// of 100.64/10 (indexes map 1:1 onto addresses, so nothing is
+	// stored per domain).
+	blocks := (cfg.NumDomains + (1 << 16) - 1) >> 16
+	if blocks > 64 {
+		return nil, fmt.Errorf("world: flat world caps at %d domains", 64<<16)
+	}
+	for k := 0; k < blocks; k++ {
+		a := asn.ASN(65000 + k)
+		fw.ASRegistry.Register(asn.AS{
+			Number: a, Name: fmt.Sprintf("Flat ISP %d", k),
+			Org: fmt.Sprintf("Flat Access ISP %d", k), CountryCode: "US",
+		})
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, byte(64 + k), 0, 0}), 16)
+		if err := fw.Prefixes.Insert(prefix, a); err != nil {
+			return nil, err
+		}
+	}
+	return fw, nil
+}
+
+// NumDomains reports the corpus size.
+func (fw *FlatWorld) NumDomains() int { return fw.Cfg.NumDomains }
+
+// DomainName returns the i-th domain's name. Names encode their index,
+// which is what lets the resolver answer for any of them statelessly.
+func (fw *FlatWorld) DomainName(i int) string {
+	return fmt.Sprintf("%s%0*d%s", fw.namePrefix, fw.digits, i, fw.nameSuffix)
+}
+
+// domainIndex inverts DomainName.
+func (fw *FlatWorld) domainIndex(name string) (int, bool) {
+	if !strings.HasPrefix(name, fw.namePrefix) || !strings.HasSuffix(name, fw.nameSuffix) {
+		return 0, false
+	}
+	mid := name[len(fw.namePrefix) : len(name)-len(fw.nameSuffix)]
+	if len(mid) != fw.digits {
+		return 0, false
+	}
+	i, err := strconv.Atoi(mid)
+	if err != nil || i < 0 || i >= fw.Cfg.NumDomains {
+		return 0, false
+	}
+	return i, true
+}
+
+// draw is the domain's assignment coordinate in [0,1). FNV alone is
+// visibly non-uniform on sequential keys, so the hash goes through a
+// murmur-style finalizer before becoming a share coordinate.
+func (fw *FlatWorld) draw(i int) float64 {
+	h := hash64(fmt.Sprintf("flat/%d/assign/%d", fw.Cfg.Seed, i))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return float64(h>>11) / float64(1<<53)
+}
+
+// providerOf resolves a domain index to its provider, or nil for
+// self-hosted domains, with ok=false when the domain has no MX.
+func (fw *FlatWorld) providerOf(i int) (p *flatProvider, ok bool) {
+	u := fw.draw(i)
+	if u < fw.noMXCut {
+		return nil, false
+	}
+	if u < fw.selfCut {
+		return nil, true
+	}
+	// The ladder is small (tens of rungs); binary search is overkill.
+	for _, p := range fw.providers {
+		if u < p.threshold {
+			return p, true
+		}
+	}
+	return fw.providers[len(fw.providers)-1], true
+}
+
+// TruthCompany returns the ground-truth operator bucket for domain i:
+// the company name, the domain itself when self-hosted, or "" for no
+// mail service.
+func (fw *FlatWorld) TruthCompany(i int) string {
+	p, ok := fw.providerOf(i)
+	switch {
+	case !ok:
+		return ""
+	case p == nil:
+		return fw.DomainName(i)
+	default:
+		return p.company
+	}
+}
+
+// selfIP maps a self-hosted domain index to its dedicated address.
+func (fw *FlatWorld) selfIP(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{100, byte(64 + i>>16), byte(i >> 8), byte(i)})
+}
+
+// selfIndex inverts selfIP.
+func (fw *FlatWorld) selfIndex(a netip.Addr) (int, bool) {
+	b := a.As4()
+	if b[0] != 100 || b[1] < 64 || b[1] >= 128 {
+		return 0, false
+	}
+	i := int(b[1]-64)<<16 | int(b[2])<<8 | int(b[3])
+	if i >= fw.Cfg.NumDomains {
+		return 0, false
+	}
+	return i, true
+}
+
+// Resolver returns the world's DNS side.
+func (fw *FlatWorld) Resolver() dns.Resolver { return flatResolver{fw} }
+
+// Dialer returns the world's SMTP side.
+func (fw *FlatWorld) Dialer() smtp.Dialer { return flatDialer{fw} }
+
+// flatResolver computes DNS answers from domain indexes.
+type flatResolver struct{ fw *FlatWorld }
+
+func (r flatResolver) LookupMX(_ context.Context, domain string) ([]dns.MXData, error) {
+	i, ok := r.fw.domainIndex(domain)
+	if !ok {
+		return nil, dns.ErrNXDomain
+	}
+	p, hasMail := r.fw.providerOf(i)
+	if !hasMail {
+		return nil, dns.ErrNoData
+	}
+	if p == nil {
+		return []dns.MXData{{Preference: 10, Exchange: "mail." + domain}}, nil
+	}
+	return []dns.MXData{
+		{Preference: 10, Exchange: p.hosts[0]},
+		{Preference: 20, Exchange: p.hosts[1]},
+	}, nil
+}
+
+func (r flatResolver) LookupA(_ context.Context, host string) ([]netip.Addr, error) {
+	if rest, ok := strings.CutPrefix(host, "mail."); ok {
+		if i, ok := r.fw.domainIndex(rest); ok {
+			if p, hasMail := r.fw.providerOf(i); hasMail && p == nil {
+				return []netip.Addr{r.fw.selfIP(i)}, nil
+			}
+		}
+		return nil, dns.ErrNXDomain
+	}
+	label, id, ok := strings.Cut(host, ".")
+	if !ok {
+		return nil, dns.ErrNXDomain
+	}
+	p := r.fw.byID[id]
+	if p == nil {
+		return nil, dns.ErrNXDomain
+	}
+	for h, name := range p.hosts {
+		if name == label+"."+id {
+			return append([]netip.Addr(nil), p.addrs[h]...), nil
+		}
+	}
+	return nil, dns.ErrNXDomain
+}
+
+func (r flatResolver) LookupAAAA(_ context.Context, host string) ([]netip.Addr, error) {
+	// The flat world is IPv4-only; the name exists, the type doesn't.
+	if _, err := r.LookupA(context.Background(), host); err != nil {
+		return nil, err
+	}
+	return nil, dns.ErrNoData
+}
+
+// flatDialer serves an SMTP conversation over an in-process pipe for
+// every dial: no listener fleet, no per-host goroutines at rest — the
+// server for an address exists only while a connection to it does.
+type flatDialer struct{ fw *FlatWorld }
+
+func (d flatDialer) DialContext(ctx context.Context, _, address string) (net.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ap, err := netip.ParseAddrPort(address)
+	if err != nil {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: err}
+	}
+	spec, err := d.fw.hostAt(ap.Addr())
+	if err != nil {
+		return nil, err
+	}
+	cfg := smtp.Config{Hostname: spec.hostname}
+	if spec.leaf != nil {
+		cfg.TLS = &tls.Config{Certificates: []tls.Certificate{spec.leaf.TLSCertificate()}}
+	}
+	srv, err := smtp.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	client, server := net.Pipe()
+	go srv.Serve(&oneShotListener{
+		conn: server,
+		addr: &net.TCPAddr{IP: ap.Addr().AsSlice(), Port: int(ap.Port())},
+	})
+	return client, nil
+}
+
+// hostAt resolves an address to its serving identity, or a
+// connection-refused error for addresses nothing listens on.
+func (fw *FlatWorld) hostAt(a netip.Addr) (*flatHost, error) {
+	if h, ok := fw.byAddr[a]; ok {
+		return h, nil
+	}
+	if i, ok := fw.selfIndex(a); ok {
+		if p, hasMail := fw.providerOf(i); hasMail && p == nil {
+			// Self-hosted box: banner-only identity under the domain's
+			// own name, no TLS.
+			return &flatHost{hostname: "mail." + fw.DomainName(i)}, nil
+		}
+	}
+	return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+}
+
+// oneShotListener adapts one pipe end to the net.Listener surface
+// smtp.Server expects: it yields its connection once, then reports
+// closed, so the Serve loop exits after handing off the session.
+type oneShotListener struct {
+	mu   sync.Mutex
+	conn net.Conn
+	addr net.Addr
+}
+
+func (l *oneShotListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		return nil, net.ErrClosed
+	}
+	c := l.conn
+	l.conn = nil
+	return c, nil
+}
+
+func (l *oneShotListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	return nil
+}
+
+func (l *oneShotListener) Addr() net.Addr { return l.addr }
