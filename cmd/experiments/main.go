@@ -43,11 +43,18 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "inference/collection worker count (0 = GOMAXPROCS, 1 = serial)")
 		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline, DNS data plane, overload protection, and snapshot I/O, writing BENCH_infer.json, BENCH_dns.json, BENCH_serve.json, and BENCH_dataset.json instead of regenerating artifacts (-only infer,dns,serve,dataset selects a subset)")
 		faults      = flag.Bool("faults", false, "collect a deterministic fault-matrix corpus and write the health report as FAULTS.json instead of regenerating artifacts")
+		misid       = flag.Bool("misid", false, "collect a deterministic adversarial corpus and write the oracle-scored robustness report as MISID.json instead of regenerating artifacts")
 	)
 	flag.Parse()
 
 	if *faults {
 		if err := runFaults(*outDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *misid {
+		if err := runMisid(*outDir, *parallelism); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -18,6 +18,7 @@ type fleetOptions struct {
 	workers    int
 	workShards int
 	flat       int
+	flatAdv    float64
 
 	seed    uint64
 	scale   float64
@@ -49,7 +50,11 @@ func runFleet(ctx context.Context, opt fleetOptions) {
 		cleanup      = func() {}
 	)
 	if opt.flat > 0 {
-		fw, err := world.NewFlatWorld(world.FlatConfig{Seed: opt.seed, NumDomains: opt.flat})
+		fw, err := world.NewFlatWorld(world.FlatConfig{
+			Seed:               opt.seed,
+			NumDomains:         opt.flat,
+			AdversarialPercent: opt.flatAdv,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,6 +70,7 @@ func runFleet(ctx context.Context, opt fleetOptions) {
 				Trust:      fw.Trust,
 				Prefixes:   fw.Prefixes,
 				ASRegistry: fw.ASRegistry,
+				Parked:     fw.Parked,
 			}, nil
 		}
 		fmt.Fprintf(os.Stderr, "flat world: %d domains (corpus %s)\n", fw.NumDomains(), corpusName)

@@ -61,6 +61,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "collection fleet size: >1 runs a work-stealing worker fleet that writes sorted snapshot shards and merges them into -o")
 		shards    = flag.Int("shards", 0, "work-stealing dispatch slices for the fleet (default 4 per worker)")
 		flat      = flag.Int("flat", 0, "measure a computed-on-the-fly flat corpus of this many domains instead of a generated world (implies fleet mode; scale-independent memory)")
+		advPct    = flag.Float64("adversarial", 0, "flat mode: turn this percentage of the corpus hostile (dangling MX, hijacked delegations, lame zones, abuse clusters, backup-MX failover)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 			workers:    *workers,
 			workShards: *shards,
 			flat:       *flat,
+			flatAdv:    *advPct,
 			seed:       *seed,
 			scale:      *scale,
 			corpus:     *corpus,

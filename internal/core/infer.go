@@ -126,6 +126,12 @@ type Config struct {
 	// consensus is consulted before certificate consensus. Exists for the
 	// DESIGN.md ablation bench.
 	PreferBannerOverCert bool
+	// AbuseClusterMinDomains enables the trust pass's look-alike abuse
+	// detection: an exchange referenced by at least this many domains,
+	// three quarters of which share one long digit-stripped naming stem,
+	// is surfaced as a low-trust abuse cluster. Zero (the default)
+	// disables the rule.
+	AbuseClusterMinDomains int
 }
 
 func (c Config) pslOrDefault() *psl.List {
@@ -151,6 +157,13 @@ type MXAssignment struct {
 	Examined bool
 	// Corrected reports that step 4 changed ProviderID.
 	Corrected bool
+	// Untrusted reports that the trust pass (or step 4's dangling rule)
+	// refused to take the assignment at face value.
+	Untrusted bool
+	// CreditAs, when non-empty, is the sentinel bucket domains pointing
+	// at this exchange are credited to instead of ProviderID. ProviderID
+	// is retained for reporting what was claimed.
+	CreditAs string
 	// Reason explains a correction or why an examined assignment stood.
 	Reason string
 }
@@ -166,6 +179,9 @@ type DomainAttribution struct {
 	Credits map[string]float64
 	// HasSMTP reports whether any primary-MX address accepted SMTP.
 	HasSMTP bool
+	// Untrusted reports that at least one credited assignment was
+	// downgraded by the trust pass — the attribution is low-trust.
+	Untrusted bool
 }
 
 // Primary returns the provider with the largest credit share, or "" when
@@ -196,6 +212,8 @@ type Result struct {
 	NumExamined int
 	// NumCorrected counts assignments changed in step 4.
 	NumCorrected int
+	// NumUntrusted counts assignments the trust pass downgraded.
+	NumUntrusted int
 }
 
 // Infer runs the selected approach over a snapshot.
@@ -248,6 +266,17 @@ func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
 	// Step 4 — misidentification check (priority approach only).
 	if approach == ApproachPriority && len(cfg.Profiles) > 0 {
 		checkMisidentifications(res, idx.Exchanges, s.IPs, ipIDs, cfg, memo)
+	}
+
+	// Trust pass — hijack/abuse-aware provenance cross-check (priority
+	// approach only). Statistics accumulate in domain order from the
+	// serialized record fields, mirroring InferStream's pass A exactly.
+	if approach == ApproachPriority {
+		tstats := newTrustStats()
+		for i := range s.Domains {
+			tstats.observe(&s.Domains[i], idx.PrimaryMX[i], memo)
+		}
+		checkTrust(res, idx.Exchanges, s.IPs, tstats, cfg)
 	}
 
 	// Step 5 — per-domain attribution, sharded over domain positions.
@@ -506,8 +535,16 @@ func attributeDomain(d *dataset.DomainRecord, primary []dataset.MXObs, mxAssign 
 	}
 	share := 1.0 / float64(len(primary))
 	for _, mx := range primary {
-		if a, ok := mxAssign[mx.Exchange]; ok && a.ProviderID != "" {
-			out.Credits[a.ProviderID] += share
+		if a, ok := mxAssign[mx.Exchange]; ok {
+			if a.Untrusted {
+				out.Untrusted = true
+			}
+			switch {
+			case a.CreditAs != "":
+				out.Credits[a.CreditAs] += share
+			case a.ProviderID != "":
+				out.Credits[a.ProviderID] += share
+			}
 		}
 		for _, addr := range mx.Addrs {
 			if info, ok := ips[addr.String()]; ok && info.Port25Open {

@@ -61,6 +61,16 @@ func checkMisidentifications(res *Result, exchanges []dataset.MXObs, ips map[str
 		switch a.Source {
 		case SourceBanner:
 			if !anyAddrInASNs(ips, mx.Addrs, prof.ASNs) {
+				if mx.Dangling {
+					// The banner claim fails the AS check AND the exchange's
+					// registered zone has lapsed: reverting to the MX
+					// registered domain would credit a nonexistent
+					// registrant. Surface the assignment as untrusted
+					// instead.
+					flagUntrusted(res, a, CreditUntrusted,
+						"banner claims "+prof.ID+" outside its AS; MX registered domain dangling")
+					continue
+				}
 				correct(res, a, mxFallbackID(a.Exchange, memo), "banner claims "+prof.ID+" outside its AS")
 				continue
 			}

@@ -56,11 +56,21 @@ func InferStream(st *dataset.Stream, approach Approach, cfg Config, emit func(Do
 		nDomains  int
 		seenIP    []string
 		seenCert  []string
+		tstats    *trustStats
 	)
+	if approach == ApproachPriority {
+		tstats = newTrustStats()
+	}
 	err = st.ForEach(func(d *dataset.DomainRecord) error {
 		nDomains++
 		seenIP, seenCert = seenIP[:0], seenCert[:0]
-		for _, mx := range d.PrimaryMX() {
+		primary := d.PrimaryMX()
+		if tstats != nil {
+			// Trust statistics fold in here so the stream needs no extra
+			// pass; the batch path accumulates in the same domain order.
+			tstats.observe(d, primary, memo)
+		}
+		for _, mx := range primary {
 			if _, ok := exIndex[mx.Exchange]; !ok {
 				exIndex[mx.Exchange] = len(exchanges)
 				// The streamed record is reused; own the retained copy.
@@ -112,6 +122,9 @@ func InferStream(st *dataset.Stream, approach Approach, cfg Config, emit func(Do
 	}
 	if approach == ApproachPriority && len(cfg.Profiles) > 0 {
 		checkMisidentifications(res, exchanges, ips, ipIDs, cfg, memo)
+	}
+	if tstats != nil {
+		checkTrust(res, exchanges, ips, tstats, cfg)
 	}
 
 	// Pass B — step 5, one attribution at a time.

@@ -17,10 +17,15 @@ func TestInferStreamEquivalence(t *testing.T) {
 	snapshots := map[string]struct {
 		snap     *dataset.Snapshot
 		profiles []ProviderProfile
+		abuseMin int
 	}{
-		"table3":    {table3Snapshot(), providerProfiles()},
-		"table12":   {table12Snapshot(), nil},
-		"benchdata": {benchdata.Snapshot(600), benchdataProfiles()},
+		"table3":    {table3Snapshot(), providerProfiles(), 0},
+		"table12":   {table12Snapshot(), nil, 0},
+		"benchdata": {benchdata.Snapshot(600), benchdataProfiles(), 0},
+		// The hostile families: stale-glue hijack, dangling and parked
+		// exchanges, an abuse cluster — the trust pass must stay
+		// byte-equivalent across both paths too.
+		"adversarial": {adversarialSnapshot(), adversarialProfiles(), 4},
 	}
 	dir := t.TempDir()
 	for name, tc := range snapshots {
@@ -40,7 +45,8 @@ func TestInferStreamEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, approach := range Approaches() {
-			cfg := Config{Profiles: tc.profiles, ConfidenceThreshold: 2, Parallelism: 4}
+			cfg := Config{Profiles: tc.profiles, ConfidenceThreshold: 2, Parallelism: 4,
+				AbuseClusterMinDomains: tc.abuseMin}
 			want := Infer(loaded, approach, cfg)
 			var streamed []DomainAttribution
 			got, err := InferStream(st, approach, cfg, func(att DomainAttribution) {

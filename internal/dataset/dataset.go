@@ -20,6 +20,19 @@ import (
 	"mxmap/internal/asn"
 )
 
+// Delegation provenance values for DomainRecord.Delegation. Empty means
+// the parent-side delegation checked out (or no provenance data was
+// available — the common case for resolvers without a registry view).
+const (
+	// DelegationStaleGlue: the registry's NS records for the domain
+	// disagree with the apex NS set the serving zone publishes — the
+	// answers arrived through stale parent glue (hijack suspect).
+	DelegationStaleGlue = "stale-glue"
+	// DelegationLame: the domain is delegated but its NS set never
+	// answers authoritatively.
+	DelegationLame = "lame"
+)
+
 // MXObs is one observed MX record with the addresses its exchange
 // resolved to.
 type MXObs struct {
@@ -29,6 +42,11 @@ type MXObs struct {
 	Exchange string `json:"exchange"`
 	// Addrs are the IPv4 addresses Exchange resolved to (may be empty).
 	Addrs []netip.Addr `json:"addrs,omitempty"`
+	// Dangling reports that the exchange's enclosing registered zone is
+	// gone from the registry: any addresses came from leftover glue, and
+	// the name is claimable (serialized; absent for honest exchanges, so
+	// pre-adversarial snapshots keep their exact bytes).
+	Dangling bool `json:"dangling,omitempty"`
 	// Failure classifies the exchange's address resolution. In-memory
 	// only: per-record classes feed Snapshot.Health, which is what gets
 	// serialized, keeping the JSONL byte format stable.
@@ -46,6 +64,10 @@ type DomainRecord struct {
 	// SPF is the domain's published v=spf1 policy, when one exists —
 	// collected for the eventual-provider extension (paper §3.4).
 	SPF string `json:"spf,omitempty"`
+	// Delegation records parent-side provenance trouble: "" (sound or
+	// unchecked), DelegationStaleGlue, or DelegationLame. Serialized so
+	// the trust pass in inference sees it after a disk round trip.
+	Delegation string `json:"delegation,omitempty"`
 	// Failure classifies the domain's MX lookup (in-memory only; see
 	// MXObs.Failure).
 	Failure FailureClass `json:"-"`
@@ -111,6 +133,9 @@ type IPInfo struct {
 	HasCensys bool `json:"has_censys"`
 	// Port25Open reports whether the SMTP port accepted a connection.
 	Port25Open bool `json:"port25_open"`
+	// Parked reports that the address belongs to a known domain-parking
+	// service (serialized; absent outside adversarial runs).
+	Parked bool `json:"parked,omitempty"`
 	// Scan holds the application-layer observation when Port25Open.
 	Scan *ScanInfo `json:"scan,omitempty"`
 	// Failure classifies the scan outcome (in-memory only; see

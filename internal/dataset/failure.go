@@ -46,6 +46,22 @@ const (
 	// FailNotCovered: the scanning service has no data for the address —
 	// a Censys blind spot, not a property of the host (definitive).
 	FailNotCovered FailureClass = "not-covered"
+	// FailDanglingMX: the MX target's name no longer exists — the mail
+	// zone was dropped while the MX record kept pointing at it
+	// (definitive; the classic dangling-MX takeover precondition).
+	FailDanglingMX FailureClass = "dangling-mx"
+	// FailParkedIP: the exchange resolves, but to a known domain-parking
+	// address where nothing listens on 25 — a dead mail setup, not a
+	// transient connect failure (definitive).
+	FailParkedIP FailureClass = "parked-ip"
+	// FailLameDelegation: the domain is delegated, but its NS set never
+	// answers authoritatively (definitive).
+	FailLameDelegation FailureClass = "lame-delegation"
+	// FailHijackSuspect: the parent-side delegation (registry NS + glue)
+	// disagrees with the apex NS set the serving zone publishes — the
+	// stale-glue hijack signature. The lookup "succeeds", so the record
+	// still carries data, but its provenance is untrusted (definitive).
+	FailHijackSuspect FailureClass = "hijack-suspect"
 )
 
 // Classes lists every failure class in presentation order.
@@ -54,6 +70,7 @@ func Classes() []FailureClass {
 		FailOK, FailNXDomain, FailDNSTimeout, FailDNSServFail,
 		FailConnRefused, FailConnTimeout, FailConnReset,
 		FailProtoError, FailTLSError, FailNotCovered,
+		FailDanglingMX, FailParkedIP, FailLameDelegation, FailHijackSuspect,
 	}
 }
 
@@ -119,27 +136,24 @@ func (s *Snapshot) Health() *Health {
 		Stats:     s.Stats,
 	}
 	for i := range s.Domains {
-		h.Domains[normalizeClass(s.Domains[i].Failure, FailOK)]++
+		h.Domains[normalizeClass(s.Domains[i].Failure, domainFallback(&s.Domains[i]))]++
 	}
 	// One vote per distinct exchange: popular exchanges appear in many
 	// domains' MX sets but were resolved once.
 	seen := make(map[string]bool)
 	for i := range s.Domains {
-		for _, mx := range s.Domains[i].MX {
+		for j := range s.Domains[i].MX {
+			mx := &s.Domains[i].MX[j]
 			if seen[mx.Exchange] {
 				continue
 			}
 			seen[mx.Exchange] = true
-			h.Exchanges[normalizeClass(mx.Failure, FailOK)]++
+			h.Exchanges[normalizeClass(mx.Failure, exchangeFallback(mx))]++
 		}
 	}
 	covered := 0
 	for _, info := range s.IPs {
-		fallback := FailOK
-		if !info.HasCensys {
-			fallback = FailNotCovered
-		}
-		h.IPs[normalizeClass(info.Failure, fallback)]++
+		h.IPs[normalizeClass(info.Failure, ipFallback(&info))]++
 		if info.HasCensys {
 			covered++
 		}
@@ -155,6 +169,39 @@ func normalizeClass(f, fallback FailureClass) FailureClass {
 		return fallback
 	}
 	return f
+}
+
+// The fallback derivations below reconstruct classes for records loaded
+// from disk, where the in-memory Failure fields are gone but the
+// serialized adversarial evidence (Delegation, Dangling, Parked)
+// survives. In-memory snapshots straight out of a collection run carry
+// explicit classes and never reach the fallbacks.
+
+func domainFallback(d *DomainRecord) FailureClass {
+	switch d.Delegation {
+	case DelegationStaleGlue:
+		return FailHijackSuspect
+	case DelegationLame:
+		return FailLameDelegation
+	}
+	return FailOK
+}
+
+func exchangeFallback(mx *MXObs) FailureClass {
+	if mx.Dangling && len(mx.Addrs) == 0 {
+		return FailDanglingMX
+	}
+	return FailOK
+}
+
+func ipFallback(info *IPInfo) FailureClass {
+	if info.Parked && !info.Port25Open {
+		return FailParkedIP
+	}
+	if !info.HasCensys {
+		return FailNotCovered
+	}
+	return FailOK
 }
 
 // OKRate returns the fraction of entries in the given class counts that

@@ -204,22 +204,19 @@ func (st *Stream) Health() (*Health, error) {
 	covered, total := 0, 0
 	err := st.forEach(
 		func(d *DomainRecord) error {
-			h.Domains[normalizeClass(d.Failure, FailOK)]++
-			for _, mx := range d.MX {
+			h.Domains[normalizeClass(d.Failure, domainFallback(d))]++
+			for i := range d.MX {
+				mx := &d.MX[i]
 				if seen[mx.Exchange] {
 					continue
 				}
 				seen[mx.Exchange] = true
-				h.Exchanges[normalizeClass(mx.Failure, FailOK)]++
+				h.Exchanges[normalizeClass(mx.Failure, exchangeFallback(mx))]++
 			}
 			return nil
 		},
 		func(info *IPInfo) error {
-			fallback := FailOK
-			if !info.HasCensys {
-				fallback = FailNotCovered
-			}
-			h.IPs[normalizeClass(info.Failure, fallback)]++
+			h.IPs[normalizeClass(info.Failure, ipFallback(info))]++
 			total++
 			if info.HasCensys {
 				covered++

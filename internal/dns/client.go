@@ -27,6 +27,11 @@ var (
 	// ErrNoData reports that the name exists but carries no records of the
 	// queried type.
 	ErrNoData = errors.New("dns: no records of requested type")
+	// ErrLame reports a lame delegation: the name is delegated in the
+	// registry, but its NS set never answers authoritatively. Unlike a
+	// SERVFAIL this is definitive — the delegation itself is broken, not
+	// a momentary upstream problem.
+	ErrLame = errors.New("dns: lame delegation")
 )
 
 // A Client is a stub resolver: it sends single questions to one server

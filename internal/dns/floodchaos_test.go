@@ -50,6 +50,18 @@ func startOverloadServer(t *testing.T, n *netsim.Network, addr string, cfg Serve
 	errc := make(chan error, 2)
 	go func() { errc <- srv.ServeUDP(pc) }()
 	go func() { errc <- srv.ServeTCP(ln) }()
+	// Wait until both serve loops have registered their sockets: a
+	// Shutdown racing ahead of a not-yet-scheduled ServeTCP would trip
+	// its entry guard and surface net.ErrClosed as a loop failure.
+	for {
+		srv.mu.Lock()
+		ready := len(srv.udpConns) == 1 && len(srv.tcpLns) == 1
+		srv.mu.Unlock()
+		if ready {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
 	t.Cleanup(func() {
 		srv.Close()
 		for i := 0; i < 2; i++ {

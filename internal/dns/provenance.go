@@ -1,0 +1,23 @@
+package dns
+
+import "context"
+
+// A ProvenanceChecker cross-checks where answers came from against the
+// registry-side view of the namespace: which names are delegated, to
+// whom, and whether the glue that made a lookup succeed still has a
+// living zone behind it. Resolvers with access to registration data
+// (zone files, RDAP, a TLD feed) implement it; the collector consults
+// it opportunistically via a type assertion, so plain resolvers are
+// unaffected.
+type ProvenanceChecker interface {
+	// DelegationStale reports whether domain's parent-side delegation
+	// (registry NS records and glue) disagrees with the apex NS set the
+	// serving zone publishes — the stale-glue hijack signature: answers
+	// arrive and validate syntactically, but from infrastructure the
+	// registrant no longer controls.
+	DelegationStale(ctx context.Context, domain string) bool
+	// ZoneGone reports whether host's enclosing registered zone has been
+	// dropped from the registry even though the name may still resolve
+	// through leftover glue — the dangling-exchange precondition.
+	ZoneGone(ctx context.Context, host string) bool
+}

@@ -93,8 +93,8 @@ type rrlKey struct {
 // accumulates sub-response refill so no refill is lost to rounding.
 type rrlBucket struct {
 	tokens   int
-	fracNano int64 // nanoseconds of refill not yet converted to a token
-	lastNano int64 // last refill time
+	fracNano int64  // nanoseconds of refill not yet converted to a token
+	lastNano int64  // last refill time
 	limited  uint64 // rate-limited responses since creation (drives slip)
 }
 

@@ -23,6 +23,8 @@ func ClassifyDNS(err error) dataset.FailureClass {
 		return dataset.FailOK
 	case errors.Is(err, dns.ErrNXDomain):
 		return dataset.FailNXDomain
+	case errors.Is(err, dns.ErrLame):
+		return dataset.FailLameDelegation
 	case errors.Is(err, dns.ErrServFail):
 		return dataset.FailDNSServFail
 	case isTimeout(err):
@@ -32,6 +34,33 @@ func ClassifyDNS(err error) dataset.FailureClass {
 		// treat like SERVFAIL — transient, worth one more try.
 		return dataset.FailDNSServFail
 	}
+}
+
+// ClassifyMXTarget maps the outcome of resolving an MX target's A/AAAA
+// records. It differs from ClassifyDNS in one case: NXDOMAIN on an
+// exchange means the MX record points at a name that no longer exists —
+// a dangling MX, the takeover precondition — not a generic DNS error on
+// the domain itself.
+func ClassifyMXTarget(err error) dataset.FailureClass {
+	if err != nil && errors.Is(err, dns.ErrNXDomain) {
+		return dataset.FailDanglingMX
+	}
+	return ClassifyDNS(err)
+}
+
+// ClassifyParked refines a scan outcome for an address on a known
+// domain-parking service: a closed or silent port 25 there is the
+// parked-exchange signature (the MX resolves, nothing will ever answer),
+// not a transient connect failure worth retrying.
+func ClassifyParked(class dataset.FailureClass, parked bool) dataset.FailureClass {
+	if !parked {
+		return class
+	}
+	switch class {
+	case dataset.FailConnRefused, dataset.FailConnTimeout, dataset.FailConnReset:
+		return dataset.FailParkedIP
+	}
+	return class
 }
 
 // ClassifyScan maps one SMTP scan result to the failure taxonomy.

@@ -38,6 +38,7 @@ func flatFleetCollect(t testing.TB, fw *world.FlatWorld, dir string, workers, ma
 				Trust:      fw.Trust,
 				Prefixes:   fw.Prefixes,
 				ASRegistry: fw.ASRegistry,
+				Parked:     fw.Parked,
 			}, nil
 		},
 		Output: set,

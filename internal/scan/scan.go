@@ -39,6 +39,11 @@ type Collector struct {
 	// Covered reports whether the scanning service has data for an
 	// address (the Censys-coverage oracle); nil means full coverage.
 	Covered func(addr netip.Addr) bool
+	// Parked reports whether an address belongs to a known domain-parking
+	// service (a parking-IP blocklist); nil means no parking data. A
+	// parked exchange whose port 25 never answers classifies as
+	// FailParkedIP instead of a transient connect failure.
+	Parked func(addr netip.Addr) bool
 	// Concurrency bounds parallel DNS resolutions and SMTP scans
 	// (default 32).
 	Concurrency int
@@ -126,8 +131,9 @@ func (run *collectRun) stats() dataset.CollectionStats {
 
 // aResult is one exchange's address-resolution outcome.
 type aResult struct {
-	addrs []netip.Addr
-	class dataset.FailureClass
+	addrs    []netip.Addr
+	class    dataset.FailureClass
+	dangling bool
 }
 
 // definitive reports whether the outcome may be cached for the whole
@@ -159,6 +165,9 @@ type domainResolver struct {
 
 	txt    dns.TXTResolver
 	hasTXT bool
+
+	prov    dns.ProvenanceChecker
+	hasProv bool
 }
 
 // newDomainResolver builds the phase-1 pipeline bound to one run's
@@ -171,6 +180,7 @@ func (c *Collector) newDomainResolver(run *collectRun) *domainResolver {
 		aFlights: make(map[string]*aFlight),
 	}
 	dr.txt, dr.hasTXT = c.Resolver.(dns.TXTResolver)
+	dr.prov, dr.hasProv = c.Resolver.(dns.ProvenanceChecker)
 	return dr
 }
 
@@ -180,7 +190,7 @@ func (dr *domainResolver) lookupAddrs(ctx context.Context, host string) aResult 
 	var res aResult
 	class, retries := dr.run.retry.do(ctx, func() (dataset.FailureClass, bool) {
 		addrs, err := dr.c.Resolver.LookupA(ctx, host)
-		res = aResult{addrs: addrs, class: ClassifyDNS(err)}
+		res = aResult{addrs: addrs, class: ClassifyMXTarget(err)}
 		if res.class.Failed() {
 			res.addrs = nil
 			return res.class, true
@@ -194,6 +204,11 @@ func (dr *domainResolver) lookupAddrs(ctx context.Context, host string) aResult 
 	})
 	res.class = class
 	dr.run.dnsRetries.Add(int64(retries))
+	// Provenance: an exchange whose enclosing registered zone is gone is
+	// dangling whether or not stale glue still made it resolve.
+	if dr.hasProv && (res.class == dataset.FailOK || res.class == dataset.FailDanglingMX) {
+		res.dangling = dr.prov.ZoneGone(ctx, host)
+	}
 	return res
 }
 
@@ -247,12 +262,23 @@ func (dr *domainResolver) collectDomain(ctx context.Context, t Target) dataset.D
 	})
 	rec.Failure = class
 	dr.run.dnsRetries.Add(int64(retries))
+	if class == dataset.FailLameDelegation {
+		rec.Delegation = dataset.DelegationLame
+	}
+	if dr.hasProv && !class.Failed() && ctx.Err() == nil && dr.prov.DelegationStale(ctx, t.Name) {
+		// The MX answers arrived through stale parent glue: keep them —
+		// they are what any resolver on the internet would see — but mark
+		// the record so inference treats the attribution as forgeable.
+		rec.Delegation = dataset.DelegationStaleGlue
+		rec.Failure = dataset.FailHijackSuspect
+	}
 	for _, mx := range mxs {
 		res := dr.resolveA(ctx, mx.Exchange)
 		rec.MX = append(rec.MX, dataset.MXObs{
 			Preference: mx.Preference,
 			Exchange:   mx.Exchange,
 			Addrs:      res.addrs,
+			Dangling:   res.dangling,
 			Failure:    res.class,
 		})
 	}
@@ -387,12 +413,15 @@ func (c *Collector) scanIP(ctx context.Context, run *collectRun, addr netip.Addr
 		return info // scanning service blind spot
 	}
 	info.HasCensys = true
+	if c.Parked != nil && c.Parked(addr) {
+		info.Parked = true
+	}
 	if ctx.Err() != nil {
 		info.Failure = dataset.FailConnTimeout
 		return info
 	}
 	if ok, tripped := run.breakers.allow(addr); !ok {
-		info.Failure = tripped
+		info.Failure = ClassifyParked(tripped, info.Parked)
 		return info
 	}
 
@@ -400,7 +429,9 @@ func (c *Collector) scanIP(ctx context.Context, run *collectRun, addr netip.Addr
 	class, retries := run.retry.do(ctx, func() (dataset.FailureClass, bool) {
 		res = smtp.Scan(ctx, netip.AddrPortFrom(addr, 25).String(),
 			smtp.ScanConfig{Dialer: c.Dialer, Timeout: c.ScanTimeout})
-		cl := ClassifyScan(res)
+		// The parked refinement runs inside the retry loop: a silent
+		// parking address is definitive, not worth further attempts.
+		cl := ClassifyParked(ClassifyScan(res), info.Parked)
 		// An opened circuit vetoes further retries of this destination.
 		return cl, !run.breakers.record(addr, cl)
 	})

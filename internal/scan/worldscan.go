@@ -75,8 +75,15 @@ func (s *WorldSession) NewCollector(corpusName, date string) (*Collector, error)
 	if err != nil {
 		return nil, err
 	}
+	var resolver dns.Resolver = dns.CatalogResolver{Catalog: catalog}
+	if s.World.HasAdversarial() {
+		// Adversarial worlds come with a registry-side view: lame
+		// delegations, lapsed zones, stale glue and forged apex NS sets
+		// become observable, not just servable.
+		resolver = s.World.ScenarioResolverAt(catalog, date)
+	}
 	return &Collector{
-		Resolver:   dns.CatalogResolver{Catalog: catalog},
+		Resolver:   resolver,
 		Dialer:     s.Net,
 		Trust:      s.World.Trust,
 		Prefixes:   s.World.Prefixes,
@@ -91,6 +98,7 @@ func (s *WorldSession) NewCollector(corpusName, date string) (*Collector, error)
 			}
 			return h.CensysMode.CoveredAt(dateIdx)
 		},
+		Parked: s.World.ParkedAddr,
 	}, nil
 }
 

@@ -1,0 +1,653 @@
+package world
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"strings"
+
+	"mxmap/internal/asn"
+	"mxmap/internal/companies"
+	"mxmap/internal/dns"
+)
+
+// ScenarioFamily names one hostile or pathological scenario the
+// adversarial layer can impose on a domain. The honest family is the
+// implicit default for every domain the layer does not touch.
+type ScenarioFamily string
+
+// Scenario families.
+const (
+	// FamilyHonest marks domains untouched by the adversarial layer.
+	FamilyHonest ScenarioFamily = "honest"
+	// FamilyDanglingNX: the MX record points at a name whose registered
+	// zone has lapsed entirely — A/AAAA lookups answer NXDOMAIN. This is
+	// the classic takeover precondition.
+	FamilyDanglingNX ScenarioFamily = "dangling-nx"
+	// FamilyDanglingParked: the MX target's registered domain expired and
+	// was re-registered by a parking service, so the exchange resolves —
+	// but onto parking addresses where nothing ever answers port 25.
+	FamilyDanglingParked ScenarioFamily = "dangling-parked"
+	// FamilyHijack: the registry delegation still names the original
+	// registrant's servers, but the glue is stale — the attacker serves
+	// the zone, publishes MX records into relay infrastructure it runs,
+	// and the relays claim a big provider's identity in their banners.
+	FamilyHijack ScenarioFamily = "hijack"
+	// FamilyLame: the domain is delegated but no server answers for the
+	// zone — a lame delegation, definitively broken.
+	FamilyLame ScenarioFamily = "lame"
+	// FamilyAbuse: clusters of look-alike throwaway domains sharing one
+	// cheap bulk-mail exchange — the spam-campaign signature.
+	FamilyAbuse ScenarioFamily = "abuse"
+	// FamilyBLBFO: backup-looks-better-failover topologies — priority
+	// tiers, weight-skewed equal-preference sets, and domains served only
+	// by a backup-MX provider (after Ruohonen's BLBFO taxonomy).
+	FamilyBLBFO ScenarioFamily = "blbfo"
+)
+
+// BLBFO topology labels.
+const (
+	// TopologyTiered: three priority tiers, the last pointing at the
+	// shared backup-MX relay.
+	TopologyTiered = "tiered"
+	// TopologySkewed: two equal-preference primaries (weight skew) plus a
+	// lower-priority backup relay.
+	TopologySkewed = "skewed"
+	// TopologyBackupOnly: every MX record points at the backup-MX
+	// provider; the "primary" never existed.
+	TopologyBackupOnly = "backup-only"
+)
+
+// AdvSpec pins a domain's adversarial scenario.
+type AdvSpec struct {
+	// Family is the scenario family.
+	Family ScenarioFamily
+	// Cluster indexes the hijack or abuse cluster the domain belongs to.
+	Cluster int
+	// Topology is the BLBFO topology label for FamilyBLBFO.
+	Topology string
+}
+
+// OracleEntry is the machine-readable per-domain ground truth the
+// adversarial layer retains, consumed by the misidentification scorer.
+type OracleEntry struct {
+	// Domain is the measured registered domain.
+	Domain string `json:"domain"`
+	// Family is the scenario family (honest for untouched domains).
+	Family ScenarioFamily `json:"family"`
+	// Truth is the ground-truth operator bucket at the final snapshot:
+	// a company name, the domain itself, or "" when no mail service (or
+	// no trustworthy one) exists.
+	Truth string `json:"truth,omitempty"`
+	// Forged is the provider identity an attacker claims; crediting it
+	// is the misidentification the scorer counts.
+	Forged string `json:"forged,omitempty"`
+	// ExpectFlagged marks domains a robust inference must surface as
+	// low-trust rather than attribute at face value.
+	ExpectFlagged bool `json:"expect_flagged,omitempty"`
+	// Detail carries the family-specific sub-label (cluster zone, BLBFO
+	// topology).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Adversarial infrastructure sizing.
+const (
+	numHijackClusters = 2
+	numAbuseClusters  = 2
+	numParkedZones    = 2
+	numGoneZones      = 4
+)
+
+// HijackCluster is one stale-glue hijack operation: an attacker DNS
+// zone serving forged answers for its victims, and relay hosts (in a
+// lapsed zone, reachable only through leftover glue) that impersonate a
+// big provider.
+type HijackCluster struct {
+	// RelayZone is the lapsed registered zone the relay hosts live in.
+	RelayZone string
+	// DNSZone is the attacker's registered nameserver zone; victims'
+	// served apex NS points here while the registry delegation does not.
+	DNSZone string
+	// RelayHosts are the relay exchange names.
+	RelayHosts []string
+	// RelayAddrs are the relays' addresses (parallel to RelayHosts).
+	RelayAddrs []netip.Addr
+	// Forged is the provider identity the relays claim in their banners.
+	Forged string
+}
+
+// AbuseCluster is one bulk-mail operation: a cheap shared exchange and
+// the naming stem its look-alike member domains share.
+type AbuseCluster struct {
+	// Zone is the operator's registered zone.
+	Zone string
+	// Exchange is the shared MX exchange name.
+	Exchange string
+	// Addr is the exchange's address.
+	Addr netip.Addr
+	// Stem is the shared look-alike naming stem of member domains.
+	Stem string
+	// Company is the operator's directory name.
+	Company string
+}
+
+// BackupRelayInfo is the shared backup-MX provider BLBFO topologies
+// point their low-priority (or only) records at.
+type BackupRelayInfo struct {
+	// Zone is the provider's registered zone.
+	Zone string
+	// Hosts are the relay exchange names.
+	Hosts []string
+	// Addrs are the exchanges' addresses (parallel to Hosts).
+	Addrs []netip.Addr
+	// Company is the provider's directory name.
+	Company string
+}
+
+// Adversary holds the hostile shared infrastructure of a world.
+type Adversary struct {
+	// ParkedIPs are the parking service's sinkhole addresses; port 25 is
+	// closed forever.
+	ParkedIPs []netip.Addr
+	// ParkedZones are parking-operator zones that swallowed expired MX
+	// target domains (dangling-parked family).
+	ParkedZones []string
+	// GoneZones are lapsed zones dangling-nx MX targets point into;
+	// nothing serves them and the registry has dropped them.
+	GoneZones []string
+	// HijackClusters are the stale-glue hijack operations.
+	HijackClusters []HijackCluster
+	// AbuseClusters are the bulk-mail operations.
+	AbuseClusters []AbuseCluster
+	// BackupRelay is the shared backup-MX provider.
+	BackupRelay BackupRelayInfo
+
+	parked map[netip.Addr]bool
+}
+
+// advCycle spreads selected domains over families round-robin; hijack
+// and abuse appear twice so their clusters gather enough members to
+// exercise the cluster-level inference rules.
+var advCycle = []ScenarioFamily{
+	FamilyDanglingNX, FamilyDanglingParked, FamilyHijack, FamilyLame,
+	FamilyAbuse, FamilyBLBFO, FamilyHijack, FamilyAbuse,
+}
+
+// abuseStems are the look-alike naming stems, one per abuse cluster.
+var abuseStems = []string{"bargain-pharma-dealz", "prize-claim-rewardz"}
+
+// blbfoTopologies cycles over the Ruohonen failover shapes.
+var blbfoTopologies = []string{TopologyTiered, TopologySkewed, TopologyBackupOnly}
+
+// HasAdversarial reports whether the world carries an adversarial layer.
+func (w *World) HasAdversarial() bool { return w.Adversary != nil }
+
+// ParkedAddr reports whether addr belongs to a known domain-parking
+// service — the external parking-IP feed the collector consults.
+func (w *World) ParkedAddr(addr netip.Addr) bool {
+	return w.Adversary != nil && w.Adversary.parked[addr]
+}
+
+// ensureAdversary materializes the hostile shared infrastructure:
+// address space, AS announcements, SMTP endpoints and directory entries.
+// Deterministic — no randomness is consumed.
+func (w *World) ensureAdversary() error {
+	if w.Adversary != nil {
+		return nil
+	}
+	a := &Adversary{parked: make(map[netip.Addr]bool)}
+
+	// Parking service: a /24 of sinkhole addresses, port 25 closed.
+	parkASN := asn.ASN(64990)
+	w.ASRegistry.Register(asn.AS{
+		Number: parkASN, Name: "ParkZone", Org: "ParkZone Holdings", CountryCode: "US",
+	})
+	if err := w.Prefixes.Insert(netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 126, 0, 0}), 24), parkASN); err != nil {
+		return err
+	}
+	for k := 0; k < numParkedZones; k++ {
+		addr := netip.AddrFrom4([4]byte{100, 126, 0, byte(1 + k)})
+		a.ParkedIPs = append(a.ParkedIPs, addr)
+		a.parked[addr] = true
+		w.Hosts[addr] = &Host{Addr: addr, ASN: parkASN, SMTP: nil}
+		a.ParkedZones = append(a.ParkedZones, fmt.Sprintf("parked-claims%02d.net", k))
+	}
+	for k := 0; k < numGoneZones; k++ {
+		a.GoneZones = append(a.GoneZones, fmt.Sprintf("gone-mail%02d.net", k))
+	}
+
+	// Hijack clusters: relays in lapsed zones, reachable via stale glue,
+	// claiming a big provider's identity.
+	for k := 0; k < numHijackClusters; k++ {
+		hjASN := asn.ASN(64991 + k)
+		w.ASRegistry.Register(asn.AS{
+			Number: hjASN, Name: fmt.Sprintf("BPH-%d", k),
+			Org: fmt.Sprintf("Bulletproof Hosting %d", k), CountryCode: "US",
+		})
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 125, byte(k), 0}), 24)
+		if err := w.Prefixes.Insert(prefix, hjASN); err != nil {
+			return err
+		}
+		hc := HijackCluster{
+			RelayZone: fmt.Sprintf("hijack%02d-relay.net", k),
+			DNSZone:   fmt.Sprintf("hijack%02d-dns.net", k),
+			Forged:    "Google",
+		}
+		for i := 0; i < 2; i++ {
+			host := fmt.Sprintf("mx%d.%s", i+1, hc.RelayZone)
+			addr := netip.AddrFrom4([4]byte{100, 125, byte(k), byte(1 + i)})
+			hc.RelayHosts = append(hc.RelayHosts, host)
+			hc.RelayAddrs = append(hc.RelayAddrs, addr)
+			w.Hosts[addr] = &Host{Addr: addr, ASN: hjASN, SMTP: &SMTPSpec{
+				Hostname: host,
+				Banner:   "mx.google.com ESMTP gsmtp",
+				EHLOName: "mx.google.com",
+			}}
+		}
+		a.HijackClusters = append(a.HijackClusters, hc)
+	}
+
+	// Abuse clusters: one cheap exchange each, registered to a bulk-mail
+	// shell company so attribution has a name to land on.
+	for k := 0; k < numAbuseClusters; k++ {
+		abASN := asn.ASN(64994 + k)
+		company := fmt.Sprintf("Bulk Blast Mail %02d", k)
+		w.ASRegistry.Register(asn.AS{
+			Number: abASN, Name: fmt.Sprintf("BULK-%d", k), Org: company, CountryCode: "US",
+		})
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 124, byte(k), 0}), 24)
+		if err := w.Prefixes.Insert(prefix, abASN); err != nil {
+			return err
+		}
+		ac := AbuseCluster{
+			Zone:    fmt.Sprintf("bulk%02d-mail.xyz", k),
+			Stem:    abuseStems[k%len(abuseStems)],
+			Company: company,
+			Addr:    netip.AddrFrom4([4]byte{100, 124, byte(k), 1}),
+		}
+		ac.Exchange = "mx." + ac.Zone
+		w.Hosts[ac.Addr] = &Host{Addr: ac.Addr, ASN: abASN, SMTP: &SMTPSpec{Hostname: ac.Exchange}}
+		w.Directory.Register(companies.Company{
+			Name: company, Kind: companies.KindOther, Country: "US",
+			ProviderIDs: []string{ac.Zone}, ASNs: []asn.ASN{abASN},
+		})
+		a.AbuseClusters = append(a.AbuseClusters, ac)
+	}
+
+	// Backup-MX relay: a legitimate (if bare-bones) store-and-forward
+	// provider the BLBFO topologies share.
+	brASN := asn.ASN(64997)
+	br := BackupRelayInfo{Zone: "backup-relay-mail.net", Company: "Backup MX Relay"}
+	w.ASRegistry.Register(asn.AS{
+		Number: brASN, Name: "BACKUPMX", Org: br.Company, CountryCode: "US",
+	})
+	if err := w.Prefixes.Insert(netip.PrefixFrom(netip.AddrFrom4([4]byte{100, 123, 0, 0}), 24), brASN); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		host := fmt.Sprintf("mx%d.%s", i+1, br.Zone)
+		addr := netip.AddrFrom4([4]byte{100, 123, 0, byte(1 + i)})
+		br.Hosts = append(br.Hosts, host)
+		br.Addrs = append(br.Addrs, addr)
+		w.Hosts[addr] = &Host{Addr: addr, ASN: brASN, SMTP: &SMTPSpec{Hostname: host}}
+	}
+	w.Directory.Register(companies.Company{
+		Name: br.Company, Kind: companies.KindOther, Country: "US",
+		ProviderIDs: []string{br.Zone}, ASNs: []asn.ASN{brASN},
+	})
+	a.BackupRelay = br
+
+	w.Adversary = a
+	return nil
+}
+
+// applyAdversarial rewrites the final stint of a deterministic sample of
+// corpus domains into adversarial scenarios. It runs after assignment
+// closes and before hosts materialize; its randomness is a private
+// stream, so honest worlds (Adversarial == 0) are untouched.
+func (w *World) applyAdversarial(c *Corpus) {
+	n := int(w.Cfg.Adversarial * float64(len(c.Domains)))
+	if n <= 0 {
+		return
+	}
+	if n > len(c.Domains) {
+		n = len(c.Domains)
+	}
+	rng := rand.New(rand.NewPCG(w.Cfg.Seed, hash64(c.Name+"/adversarial")))
+	perm := rng.Perm(len(c.Domains))
+	last := len(c.Dates) - 1
+	counts := make(map[ScenarioFamily]int)
+	for k := 0; k < n; k++ {
+		d := c.Domains[perm[k]]
+		fam := advCycle[k%len(advCycle)]
+		spec := &AdvSpec{Family: fam}
+		switch fam {
+		case FamilyHijack:
+			spec.Cluster = counts[fam] % numHijackClusters
+		case FamilyAbuse:
+			spec.Cluster = counts[fam] % numAbuseClusters
+			w.renameAbuseDomain(d, spec.Cluster, counts[fam])
+		case FamilyBLBFO:
+			spec.Topology = blbfoTopologies[counts[fam]%len(blbfoTopologies)]
+		}
+		counts[fam]++
+		d.Adv = spec
+		w.rewriteFinalStint(d, spec, last, rng)
+	}
+}
+
+// renameAbuseDomain gives an abuse-cluster member its look-alike name.
+func (w *World) renameAbuseDomain(d *Domain, cluster, member int) {
+	stem := w.Adversary.AbuseClusters[cluster].Stem
+	for {
+		name := fmt.Sprintf("%s-%03d.xyz", stem, member)
+		if !w.usedNames[name] {
+			w.usedNames[name] = true
+			d.Name = name
+			d.Country = ""
+			return
+		}
+		member += numAbuseClusters
+	}
+}
+
+// rewriteFinalStint turns the domain's last snapshot into the
+// adversarial scenario, splitting the closing stint when it spans
+// earlier (still honest) snapshots.
+func (w *World) rewriteFinalStint(d *Domain, spec *AdvSpec, last int, rng *rand.Rand) {
+	st := &d.Stints[len(d.Stints)-1]
+	if st.From < last {
+		st.To = last - 1
+		d.Stints = append(d.Stints, Stint{
+			From: last, To: last,
+			Provider: st.Provider,
+			Variant:  rng.Uint32(),
+		})
+		st = &d.Stints[len(d.Stints)-1]
+	} else {
+		st.Variant = rng.Uint32()
+	}
+	st.Mode = ModeAdversarial
+	if spec.Family == FamilyBLBFO && st.Provider < 0 {
+		// BLBFO needs a real primary provider; pick one deterministically.
+		st.Provider = int(st.Variant) % len(w.Providers)
+	}
+}
+
+// advTruth is the ground-truth operator bucket for an adversarial stint.
+func (w *World) advTruth(d *Domain, st *Stint) string {
+	a := w.Adversary
+	if a == nil || d.Adv == nil {
+		return ""
+	}
+	switch d.Adv.Family {
+	case FamilyHijack:
+		// The registrant lost control; mail flows to the attacker's
+		// relay zone. No legitimate operator exists to credit.
+		return a.HijackClusters[d.Adv.Cluster].RelayZone
+	case FamilyAbuse:
+		return a.AbuseClusters[d.Adv.Cluster].Company
+	case FamilyBLBFO:
+		if d.Adv.Topology == TopologyBackupOnly {
+			return a.BackupRelay.Company
+		}
+		return w.Providers[st.Provider].Company.Name
+	default:
+		// Dangling, parked, lame: the mail service is gone.
+		return ""
+	}
+}
+
+// advMXRecords derives the MX configuration of an adversarial stint.
+func (w *World) advMXRecords(d *Domain, st *Stint) []MXRec {
+	a := w.Adversary
+	if a == nil || d.Adv == nil {
+		return nil
+	}
+	v := uint64(st.Variant)
+	switch d.Adv.Family {
+	case FamilyDanglingNX:
+		return []MXRec{{Pref: 10, Host: "mx." + a.GoneZones[int(v)%len(a.GoneZones)]}}
+	case FamilyDanglingParked:
+		return []MXRec{{Pref: 10, Host: "mx." + a.ParkedZones[int(v)%len(a.ParkedZones)]}}
+	case FamilyHijack:
+		hc := a.HijackClusters[d.Adv.Cluster]
+		recs := []MXRec{{Pref: 10, Host: hc.RelayHosts[0]}}
+		if v%2 == 0 {
+			recs = append(recs, MXRec{Pref: 20, Host: hc.RelayHosts[1]})
+		}
+		return recs
+	case FamilyLame:
+		// The zone is never served; no records are reachable anyway.
+		return nil
+	case FamilyAbuse:
+		return []MXRec{{Pref: 10, Host: a.AbuseClusters[d.Adv.Cluster].Exchange}}
+	case FamilyBLBFO:
+		p := w.Providers[st.Provider]
+		br := a.BackupRelay
+		switch d.Adv.Topology {
+		case TopologyTiered:
+			return []MXRec{
+				providerMX(p, 0, 10), providerMX(p, 1%len(p.MailHosts), 20),
+				{Pref: 30, Host: br.Hosts[0]},
+			}
+		case TopologySkewed:
+			return []MXRec{
+				providerMX(p, 0, 10), providerMX(p, 1%len(p.MailHosts), 10),
+				{Pref: 20, Host: br.Hosts[1]},
+			}
+		default: // backup-only
+			return []MXRec{{Pref: 10, Host: br.Hosts[0]}, {Pref: 20, Host: br.Hosts[1]}}
+		}
+	}
+	return nil
+}
+
+// Oracle returns the per-domain ground truth of a corpus at its final
+// snapshot, one entry per domain, honest domains included (they anchor
+// the scorer's baseline).
+func (w *World) Oracle(corpusName string) []OracleEntry {
+	c := w.Corpus(corpusName)
+	if c == nil {
+		return nil
+	}
+	last := len(c.Dates) - 1
+	out := make([]OracleEntry, 0, len(c.Domains))
+	for _, d := range c.Domains {
+		e := OracleEntry{Domain: d.Name, Family: FamilyHonest, Truth: w.TruthCompany(d, last)}
+		if d.Adv != nil {
+			e.Family = d.Adv.Family
+			switch d.Adv.Family {
+			case FamilyDanglingNX, FamilyDanglingParked, FamilyAbuse:
+				e.ExpectFlagged = true
+			case FamilyHijack:
+				e.ExpectFlagged = true
+				hc := w.Adversary.HijackClusters[d.Adv.Cluster]
+				e.Forged = hc.Forged
+				e.Detail = hc.RelayZone
+			case FamilyBLBFO:
+				e.Detail = d.Adv.Topology
+			}
+			if d.Adv.Family == FamilyAbuse {
+				e.Detail = w.Adversary.AbuseClusters[d.Adv.Cluster].Zone
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ScenarioResolver layers a registry-side view of the namespace over a
+// catalog: it knows which zones are registered, what the parent-side
+// delegation says, which delegations are lame, and which lapsed names
+// still resolve through leftover glue. It implements dns.Resolver,
+// dns.TXTResolver and dns.ProvenanceChecker.
+type ScenarioResolver struct {
+	inner dns.CatalogResolver
+	// registered holds every zone the registry still delegates.
+	registered map[string]bool
+	// apexNS is the parent-side NS host per registered zone, frozen at
+	// delegation time.
+	apexNS map[string]string
+	// lame marks registered zones no server answers for.
+	lame map[string]bool
+	// glue maps lapsed-zone hosts to the addresses their leftover glue
+	// still resolves to.
+	glue map[string][]netip.Addr
+}
+
+// ScenarioResolverAt builds the date's resolver: the catalog for
+// serving-side answers plus the registry view derived from the world.
+func (w *World) ScenarioResolverAt(catalog *dns.Catalog, date string) *ScenarioResolver {
+	sr := &ScenarioResolver{
+		inner:      dns.CatalogResolver{Catalog: catalog},
+		registered: make(map[string]bool),
+		apexNS:     make(map[string]string),
+		lame:       make(map[string]bool),
+		glue:       make(map[string][]netip.Addr),
+	}
+	register := func(zone string) {
+		sr.registered[zone] = true
+		sr.apexNS[zone] = "ns1." + zone
+	}
+	for _, id := range w.sortedProviderIDs() {
+		register(id)
+	}
+	for _, c := range w.Corpora {
+		idx := c.DateIndex(date)
+		for _, d := range c.Domains {
+			register(d.Name)
+			if idx < 0 || d.Adv == nil {
+				continue
+			}
+			if st := d.StintAt(idx); st != nil && st.Mode == ModeAdversarial && d.Adv.Family == FamilyLame {
+				sr.lame[d.Name] = true
+			}
+		}
+	}
+	if a := w.Adversary; a != nil {
+		for _, z := range a.ParkedZones {
+			register(z)
+		}
+		for _, hc := range a.HijackClusters {
+			// The relay zone lapsed — it is NOT registered — but its old
+			// glue records still resolve the relay hosts.
+			register(hc.DNSZone)
+			for i, host := range hc.RelayHosts {
+				sr.glue[host] = []netip.Addr{hc.RelayAddrs[i]}
+			}
+		}
+		for _, ac := range a.AbuseClusters {
+			register(ac.Zone)
+		}
+		register(a.BackupRelay.Zone)
+	}
+	return sr
+}
+
+// enclosingZone walks name's suffixes to the closest registered zone.
+func (sr *ScenarioResolver) enclosingZone(name string) (string, bool) {
+	n := strings.ToLower(dns.TrimmedName(name))
+	for n != "" {
+		if sr.registered[n] {
+			return n, true
+		}
+		_, rest, ok := strings.Cut(n, ".")
+		if !ok {
+			break
+		}
+		n = rest
+	}
+	return "", false
+}
+
+// gate applies the registry view before a catalog query: names outside
+// any registered zone do not exist; names in lame zones fail with
+// ErrLame.
+func (sr *ScenarioResolver) gate(name string) error {
+	zone, ok := sr.enclosingZone(name)
+	if !ok {
+		return fmt.Errorf("%w: %s", dns.ErrNXDomain, name)
+	}
+	if sr.lame[zone] {
+		return fmt.Errorf("%w: %s", dns.ErrLame, zone)
+	}
+	return nil
+}
+
+// LookupMX implements dns.Resolver.
+func (sr *ScenarioResolver) LookupMX(ctx context.Context, domain string) ([]dns.MXData, error) {
+	if err := sr.gate(domain); err != nil {
+		return nil, err
+	}
+	return sr.inner.LookupMX(ctx, domain)
+}
+
+// LookupA implements dns.Resolver.
+func (sr *ScenarioResolver) LookupA(ctx context.Context, host string) ([]netip.Addr, error) {
+	if addrs, ok := sr.glue[strings.ToLower(dns.TrimmedName(host))]; ok {
+		return append([]netip.Addr(nil), addrs...), nil
+	}
+	if err := sr.gate(host); err != nil {
+		return nil, err
+	}
+	return sr.inner.LookupA(ctx, host)
+}
+
+// LookupAAAA implements dns.Resolver.
+func (sr *ScenarioResolver) LookupAAAA(ctx context.Context, host string) ([]netip.Addr, error) {
+	if _, ok := sr.glue[strings.ToLower(dns.TrimmedName(host))]; ok {
+		// Glue is IPv4-only in this world.
+		return nil, fmt.Errorf("%w: AAAA for %s", dns.ErrNoData, host)
+	}
+	if err := sr.gate(host); err != nil {
+		return nil, err
+	}
+	return sr.inner.LookupAAAA(ctx, host)
+}
+
+// LookupTXT implements dns.TXTResolver.
+func (sr *ScenarioResolver) LookupTXT(ctx context.Context, domain string) ([]string, error) {
+	if err := sr.gate(domain); err != nil {
+		return nil, err
+	}
+	return sr.inner.LookupTXT(ctx, domain)
+}
+
+// DelegationStale implements dns.ProvenanceChecker: it compares the
+// parent-side NS host against the apex NS set the serving zone answers
+// with; any served NS the registry does not know about means the
+// delegation's control has drifted — the stale-glue hijack signature.
+func (sr *ScenarioResolver) DelegationStale(ctx context.Context, domain string) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	name := strings.ToLower(dns.TrimmedName(domain))
+	want, ok := sr.apexNS[name]
+	if !ok {
+		return false
+	}
+	resp := sr.inner.Catalog.Resolve(dns.Question{
+		Name: dns.CanonicalName(name), Type: dns.TypeNS, Class: dns.ClassIN,
+	})
+	if resp.Header.RCode != dns.RCodeSuccess {
+		return false
+	}
+	for _, rr := range resp.Answers {
+		if ns, isNS := rr.Data.(dns.NSData); isNS {
+			if !strings.EqualFold(dns.TrimmedName(ns.Host), want) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ZoneGone implements dns.ProvenanceChecker: a host with no enclosing
+// registered zone sits in lapsed namespace; whatever it still resolves
+// to is leftover glue.
+func (sr *ScenarioResolver) ZoneGone(_ context.Context, host string) bool {
+	_, ok := sr.enclosingZone(host)
+	return !ok
+}

@@ -1,0 +1,188 @@
+package world
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mxmap/internal/dns"
+)
+
+// advWorld generates the adversarial test world once per binary; the
+// seed matches the committed MISID.json artifact so the expected family
+// populations below are the same numbers pinned there.
+var advWorldCache *World
+
+func advWorld(t *testing.T) *World {
+	t.Helper()
+	if advWorldCache == nil {
+		w, err := Generate(Config{Seed: 7, Scale: 0.003, Adversarial: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		advWorldCache = w
+	}
+	return advWorldCache
+}
+
+// oracleByFamily indexes a corpus oracle by scenario family.
+func oracleByFamily(entries []OracleEntry) map[ScenarioFamily][]OracleEntry {
+	out := make(map[ScenarioFamily][]OracleEntry)
+	for _, e := range entries {
+		out[e.Family] = append(out[e.Family], e)
+	}
+	return out
+}
+
+func TestAdversaryDeterministic(t *testing.T) {
+	w2, err := Generate(Config{Seed: 7, Scale: 0.003, Adversarial: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, o2 := advWorld(t).Oracle(CorpusAlexa), w2.Oracle(CorpusAlexa)
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatal("same seed produced different oracles")
+	}
+}
+
+func TestOracleFamilies(t *testing.T) {
+	w := advWorld(t)
+	byFam := oracleByFamily(w.Oracle(CorpusAlexa))
+	wantCounts := map[ScenarioFamily]int{
+		FamilyHonest: 210, FamilyDanglingNX: 9, FamilyDanglingParked: 9,
+		FamilyHijack: 17, FamilyLame: 9, FamilyAbuse: 17, FamilyBLBFO: 9,
+	}
+	for fam, want := range wantCounts {
+		if got := len(byFam[fam]); got != want {
+			t.Errorf("family %s: %d domains, want %d", fam, got, want)
+		}
+	}
+
+	// Family-specific oracle invariants.
+	for _, e := range byFam[FamilyHijack] {
+		if !e.ExpectFlagged || e.Forged == "" || e.Detail == "" {
+			t.Errorf("hijack oracle %+v lacks forged identity or flag", e)
+		}
+		if e.Truth == e.Forged {
+			t.Errorf("%s: truth equals the forged identity %q", e.Domain, e.Forged)
+		}
+	}
+	for _, e := range byFam[FamilyDanglingNX] {
+		if !e.ExpectFlagged || e.Truth != "" {
+			t.Errorf("dangling-nx oracle %+v: want flagged, no truth operator", e)
+		}
+	}
+	for _, e := range byFam[FamilyAbuse] {
+		if !e.ExpectFlagged || e.Truth == "" || e.Detail == "" {
+			t.Errorf("abuse oracle %+v lacks operator truth or cluster detail", e)
+		}
+	}
+	for _, e := range byFam[FamilyBLBFO] {
+		if e.ExpectFlagged {
+			t.Errorf("%s: BLBFO is pathological, not hostile — must not expect a flag", e.Domain)
+		}
+		switch e.Detail {
+		case TopologyTiered, TopologySkewed, TopologyBackupOnly:
+		default:
+			t.Errorf("%s: unknown BLBFO topology %q", e.Domain, e.Detail)
+		}
+		if e.Truth == "" {
+			t.Errorf("%s: BLBFO has a real operator, truth must not be empty", e.Domain)
+		}
+	}
+	for _, e := range byFam[FamilyHonest] {
+		if e.ExpectFlagged || e.Forged != "" {
+			t.Errorf("honest oracle %+v carries adversarial fields", e)
+		}
+	}
+}
+
+// TestScenarioResolver exercises the registry-aware resolver end to
+// end: lame zones fail typed, lapsed relay zones resolve only through
+// leftover glue, and the provenance checks expose exactly the hijack
+// signature.
+func TestScenarioResolver(t *testing.T) {
+	w := advWorld(t)
+	c := w.Corpus(CorpusAlexa)
+	date := c.Dates[len(c.Dates)-1]
+	catalog, err := w.CatalogAt(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := w.ScenarioResolverAt(catalog, date)
+	ctx := context.Background()
+	byFam := oracleByFamily(w.Oracle(CorpusAlexa))
+
+	// Lame delegations answer with the typed error, not NXDOMAIN.
+	lame := byFam[FamilyLame][0].Domain
+	if _, err := sr.LookupMX(ctx, lame); !errors.Is(err, dns.ErrLame) {
+		t.Errorf("lame domain %s: %v, want ErrLame", lame, err)
+	}
+	// Unregistered namespace does not exist.
+	if _, err := sr.LookupMX(ctx, "never-registered-zone.example"); !errors.Is(err, dns.ErrNXDomain) {
+		t.Errorf("unregistered zone: %v, want NXDOMAIN", err)
+	}
+
+	// Hijack: the victim's MX resolves, the relay sits in a lapsed zone
+	// (ZoneGone) yet its glue still answers, and the served delegation
+	// disagrees with the registry (DelegationStale).
+	victim := byFam[FamilyHijack][0].Domain
+	mxs, err := sr.LookupMX(ctx, victim)
+	if err != nil || len(mxs) == 0 {
+		t.Fatalf("hijacked %s MX: %v, %v", victim, mxs, err)
+	}
+	relay := mxs[0].Exchange
+	if !sr.ZoneGone(ctx, relay) {
+		t.Errorf("relay %s: ZoneGone = false, want true (zone lapsed)", relay)
+	}
+	if addrs, err := sr.LookupA(ctx, relay); err != nil || len(addrs) == 0 {
+		t.Errorf("relay %s glue: %v, %v — leftover glue must still resolve", relay, addrs, err)
+	}
+	if !sr.DelegationStale(ctx, victim) {
+		t.Errorf("hijacked %s: DelegationStale = false, want true", victim)
+	}
+	honest := byFam[FamilyHonest][0].Domain
+	if sr.DelegationStale(ctx, honest) {
+		t.Errorf("honest %s: DelegationStale = true, want false", honest)
+	}
+	if sr.ZoneGone(ctx, "mx."+honest) {
+		t.Errorf("honest namespace %s flagged ZoneGone", "mx."+honest)
+	}
+
+	// Dangling-nx: the MX target's zone lapsed entirely — no glue, so
+	// address resolution is NXDOMAIN and the zone reads gone.
+	gone := byFam[FamilyDanglingNX][0].Domain
+	mxs, err = sr.LookupMX(ctx, gone)
+	if err != nil || len(mxs) == 0 {
+		t.Fatalf("dangling %s MX: %v, %v", gone, mxs, err)
+	}
+	if _, err := sr.LookupA(ctx, mxs[0].Exchange); !errors.Is(err, dns.ErrNXDomain) {
+		t.Errorf("dangling target %s: %v, want NXDOMAIN", mxs[0].Exchange, err)
+	}
+	if !sr.ZoneGone(ctx, mxs[0].Exchange) {
+		t.Errorf("dangling target %s: ZoneGone = false, want true", mxs[0].Exchange)
+	}
+
+	// Abuse members carry look-alike names sharing the cluster's stem.
+	for _, e := range byFam[FamilyAbuse] {
+		stemmed := false
+		for _, stem := range abuseStems {
+			if strings.HasPrefix(e.Domain, stem+"-") {
+				stemmed = true
+			}
+		}
+		if !stemmed || !strings.HasSuffix(e.Domain, ".xyz") {
+			t.Errorf("abuse member %q does not follow the look-alike pattern", e.Domain)
+		}
+	}
+
+	// Parked sinkholes are in the feed; relay and honest addresses not.
+	if len(w.Adversary.ParkedIPs) == 0 || !w.ParkedAddr(w.Adversary.ParkedIPs[0]) {
+		t.Error("parking feed misses its own sinkholes")
+	}
+	if w.ParkedAddr(w.Adversary.HijackClusters[0].RelayAddrs[0]) {
+		t.Error("hijack relay address wrongly in the parking feed")
+	}
+}

@@ -35,6 +35,10 @@ type FlatConfig struct {
 	// SelfHostedPercent overrides the corpus's calibrated self-hosting
 	// share (percent; 0 keeps the calibrated value).
 	SelfHostedPercent float64
+	// AdversarialPercent turns this share of the corpus hostile, split
+	// evenly across the six scenario families (percent; 0 disables and
+	// keeps honest worlds exactly as before).
+	AdversarialPercent float64
 }
 
 // noMXPercent is the flat world's share of domains with no MX record at
@@ -84,7 +88,9 @@ type FlatWorld struct {
 	providers  []*flatProvider
 	byID       map[string]*flatProvider
 	byAddr     map[netip.Addr]*flatHost
+	adv        *flatAdversary
 	selfCut    float64 // assignment draws below this self-host
+	advCut     float64 // ... below this are adversarial ...
 	noMXCut    float64 // ... and below this have no MX at all
 	digits     int
 	namePrefix string
@@ -142,9 +148,16 @@ func NewFlatWorld(cfg FlatConfig) (*FlatWorld, error) {
 		byName[c.Name] = c
 	}
 
+	advPct := cfg.AdversarialPercent
+	if advPct < 0 || advPct > 50 {
+		return nil, fmt.Errorf("world: adversarial share %.1f%% outside [0, 50]", advPct)
+	}
 	selfPct := cfg.SelfHostedPercent
-	cum := noMXPercent
-	fw.noMXCut = cum / 100
+	// The adversarial band sits between the no-MX cut and the
+	// self-hosting band; everything above shifts up by its share.
+	cum := noMXPercent + advPct
+	fw.noMXCut = noMXPercent / 100
+	fw.advCut = cum / 100
 	for _, a := range anchors {
 		if a.company == selfHostedKey {
 			if selfPct == 0 {
@@ -167,9 +180,9 @@ func NewFlatWorld(cfg FlatConfig) (*FlatWorld, error) {
 		}
 		fw.providers = append(fw.providers, p)
 	}
-	// Self-hosting sits between "no MX" and the provider ladder, so the
-	// provider thresholds all shift up by its share.
-	fw.selfCut = (noMXPercent + selfPct) / 100
+	// Self-hosting sits between the adversarial band and the provider
+	// ladder, so the provider thresholds all shift up by its share.
+	fw.selfCut = (noMXPercent + advPct + selfPct) / 100
 	for _, p := range fw.providers {
 		p.threshold = (p.threshold + selfPct) / 100
 	}
@@ -247,6 +260,11 @@ func NewFlatWorld(cfg FlatConfig) (*FlatWorld, error) {
 			return nil, err
 		}
 	}
+	if advPct > 0 {
+		if err := fw.buildFlatAdversary(); err != nil {
+			return nil, err
+		}
+	}
 	return fw, nil
 }
 
@@ -255,16 +273,44 @@ func (fw *FlatWorld) NumDomains() int { return fw.Cfg.NumDomains }
 
 // DomainName returns the i-th domain's name. Names encode their index,
 // which is what lets the resolver answer for any of them statelessly.
+// Abuse-family domains carry look-alike names instead of the canonical
+// pattern; both encode the same index.
 func (fw *FlatWorld) DomainName(i int) string {
+	if fw.adv != nil && fw.familyOf(i) == FamilyAbuse {
+		return fmt.Sprintf("%s%0*d%s", flatAbusePrefix, fw.digits, i, flatAbuseSuffix)
+	}
 	return fmt.Sprintf("%s%0*d%s", fw.namePrefix, fw.digits, i, fw.nameSuffix)
 }
 
-// domainIndex inverts DomainName.
+// DomainIndex inverts DomainName, accepting whichever spelling —
+// canonical or look-alike — is the name of the index. Callers scoring
+// inference output against OracleAt use it to map measured domains back
+// to their indices without materializing the corpus.
+func (fw *FlatWorld) DomainIndex(name string) (int, bool) {
+	return fw.domainIndex(name)
+}
+
+// domainIndex inverts DomainName. A name only resolves when it is the
+// canonical spelling for its index — a look-alike name for an honest
+// index (or vice versa) stays NXDOMAIN.
 func (fw *FlatWorld) domainIndex(name string) (int, bool) {
-	if !strings.HasPrefix(name, fw.namePrefix) || !strings.HasSuffix(name, fw.nameSuffix) {
+	if i, ok := fw.parseIndex(name, fw.namePrefix, fw.nameSuffix); ok {
+		return i, fw.adv == nil || fw.familyOf(i) != FamilyAbuse
+	}
+	if fw.adv != nil {
+		if i, ok := fw.parseIndex(name, flatAbusePrefix, flatAbuseSuffix); ok {
+			return i, fw.familyOf(i) == FamilyAbuse
+		}
+	}
+	return 0, false
+}
+
+// parseIndex extracts the in-range index between a prefix and suffix.
+func (fw *FlatWorld) parseIndex(name, prefix, suffix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
 		return 0, false
 	}
-	mid := name[len(fw.namePrefix) : len(name)-len(fw.nameSuffix)]
+	mid := name[len(prefix) : len(name)-len(suffix)]
 	if len(mid) != fw.digits {
 		return 0, false
 	}
@@ -292,7 +338,9 @@ func (fw *FlatWorld) draw(i int) float64 {
 // self-hosted domains, with ok=false when the domain has no MX.
 func (fw *FlatWorld) providerOf(i int) (p *flatProvider, ok bool) {
 	u := fw.draw(i)
-	if u < fw.noMXCut {
+	if u < fw.advCut {
+		// Below the no-MX cut nothing exists; in [noMXCut, advCut) the
+		// domain is adversarial and callers route through familyOf.
 		return nil, false
 	}
 	if u < fw.selfCut {
@@ -311,6 +359,9 @@ func (fw *FlatWorld) providerOf(i int) (p *flatProvider, ok bool) {
 // the company name, the domain itself when self-hosted, or "" for no
 // mail service.
 func (fw *FlatWorld) TruthCompany(i int) string {
+	if fam := fw.familyOf(i); fam != FamilyHonest {
+		return fw.advTruthFlat(i, fam)
+	}
 	p, ok := fw.providerOf(i)
 	switch {
 	case !ok:
@@ -354,6 +405,9 @@ func (r flatResolver) LookupMX(_ context.Context, domain string) ([]dns.MXData, 
 	if !ok {
 		return nil, dns.ErrNXDomain
 	}
+	if fam := r.fw.familyOf(i); fam != FamilyHonest {
+		return r.fw.advFlatMX(i, fam)
+	}
 	p, hasMail := r.fw.providerOf(i)
 	if !hasMail {
 		return nil, dns.ErrNoData
@@ -368,6 +422,11 @@ func (r flatResolver) LookupMX(_ context.Context, domain string) ([]dns.MXData, 
 }
 
 func (r flatResolver) LookupA(_ context.Context, host string) ([]netip.Addr, error) {
+	if r.fw.adv != nil {
+		if addrs, ok := r.fw.adv.hosts[host]; ok {
+			return append([]netip.Addr(nil), addrs...), nil
+		}
+	}
 	if rest, ok := strings.CutPrefix(host, "mail."); ok {
 		if i, ok := r.fw.domainIndex(rest); ok {
 			if p, hasMail := r.fw.providerOf(i); hasMail && p == nil {

@@ -29,6 +29,11 @@ func Generate(cfg Config) (*World, error) {
 	if err := w.buildRoster(); err != nil {
 		return nil, err
 	}
+	if cfg.Adversarial > 0 {
+		if err := w.ensureAdversary(); err != nil {
+			return nil, err
+		}
+	}
 	for _, spec := range []struct {
 		name  string
 		size  int
@@ -103,6 +108,9 @@ func (w *World) generateCorpus(name string, size int, dates []string) (*Corpus, 
 		ctx.step(t)
 	}
 	ctx.closeStints(len(dates) - 1)
+	if w.Cfg.Adversarial > 0 {
+		w.applyAdversarial(c)
+	}
 	if err := w.materializeHosts(c); err != nil {
 		return nil, err
 	}

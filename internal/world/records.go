@@ -227,6 +227,8 @@ func (w *World) MXRecords(d *Domain, st *Stint) []MXRec {
 			Pref: 10, Host: "ghs." + owner.ID,
 			Addrs: append([]netip.Addr(nil), owner.WebFrontIPs...),
 		}}
+	case ModeAdversarial:
+		return w.advMXRecords(d, st)
 	case ModeNoMXIP:
 		if st.Provider >= 0 {
 			// A dangling provider-named MX: the name's zone exists but the

@@ -86,12 +86,16 @@ const (
 	ModeNoSMTP
 	// ModeNoMXIP has an MX record whose exchange never resolves.
 	ModeNoMXIP
+	// ModeAdversarial marks a stint driven by the adversarial scenario
+	// layer; the concrete behavior comes from the domain's AdvSpec.
+	ModeAdversarial
 	numModes
 )
 
 var modeNames = [...]string{
 	"explicit", "hidden", "shared-hosting", "vps", "self-good",
 	"self-signed", "self-junk", "false-claim", "no-smtp", "no-mx-ip",
+	"adversarial",
 }
 
 // String names the mode.
@@ -129,6 +133,13 @@ type Config struct {
 	// records alongside A). The paper's method is IPv4-only; this knob
 	// exercises its stated future-work extension.
 	EnableIPv6 bool
+	// Adversarial is the fraction of each corpus (0..1) turned into
+	// hostile scenario families at the final snapshot: dangling MX,
+	// parked exchanges, stale-glue hijacks, lame delegations, abuse
+	// clusters and BLBFO failover topologies. 0 (the default) disables
+	// the layer entirely — honest worlds are byte-identical to worlds
+	// generated before it existed.
+	Adversarial float64
 }
 
 func (c Config) withDefaults() Config {
@@ -266,6 +277,8 @@ type Domain struct {
 	VPSIP netip.Addr
 	// WebIP is a web-hosting address used by ModeNoSMTP.
 	WebIP netip.Addr
+	// Adv is the domain's adversarial scenario, nil for honest domains.
+	Adv *AdvSpec
 }
 
 // StintAt returns the stint covering the snapshot index.
@@ -309,6 +322,10 @@ type World struct {
 	Hosts map[netip.Addr]*Host
 	// Corpora indexes the three corpora by name.
 	Corpora map[string]*Corpus
+	// Adversary holds the hostile shared infrastructure (attacker
+	// relays, bulk-mail exchanges, parking addresses); nil unless
+	// Cfg.Adversarial > 0.
+	Adversary *Adversary
 
 	providerByID map[string]*Provider
 	rng          *rand.Rand
@@ -345,6 +362,9 @@ func (w *World) TruthCompany(d *Domain, dateIdx int) string {
 	}
 	if st.Mode == ModeNoSMTP || st.Mode == ModeNoMXIP {
 		return ""
+	}
+	if st.Mode == ModeAdversarial {
+		return w.advTruth(d, st)
 	}
 	if st.Provider < 0 || st.Mode.SelfHosted() {
 		return d.Name

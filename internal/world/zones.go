@@ -22,6 +22,9 @@ func (w *World) CatalogAt(date string) (*dns.Catalog, error) {
 	if err := w.addProviderZones(cat); err != nil {
 		return nil, err
 	}
+	if err := w.addAdversaryZones(cat); err != nil {
+		return nil, err
+	}
 	for _, c := range w.Corpora {
 		idx := c.DateIndex(date)
 		if idx < 0 {
@@ -30,6 +33,11 @@ func (w *World) CatalogAt(date string) (*dns.Catalog, error) {
 		for _, d := range c.Domains {
 			st := d.StintAt(idx)
 			if st == nil {
+				continue
+			}
+			if st.Mode == ModeAdversarial && d.Adv != nil && d.Adv.Family == FamilyLame {
+				// Lame delegation: the registry delegates the zone but no
+				// server answers for it.
 				continue
 			}
 			z, err := w.domainZone(d, st)
@@ -108,7 +116,15 @@ func (w *World) addProviderZones(cat *dns.Catalog) error {
 // domainZone builds one measured domain's zone for a stint.
 func (w *World) domainZone(d *Domain, st *Stint) (*dns.Zone, error) {
 	z := dns.NewZone(d.Name)
-	if err := addApex(z, d.Name); err != nil {
+	apexNS := "ns1." + d.Name
+	if st.Mode == ModeAdversarial && d.Adv != nil && d.Adv.Family == FamilyHijack {
+		// Hijacked: the attacker serves the zone and its apex NS names the
+		// attacker's nameservers — while the registry delegation still
+		// points at the registrant's. That disagreement is the stale-glue
+		// signature ProvenanceChecker.DelegationStale detects.
+		apexNS = "ns1." + w.Adversary.HijackClusters[d.Adv.Cluster].DNSZone
+	}
+	if err := addApexNS(z, d.Name, apexNS); err != nil {
 		return nil, err
 	}
 	if spfTxt := w.SPFRecord(d, st); spfTxt != "" {
@@ -136,12 +152,75 @@ func (w *World) domainZone(d *Domain, st *Stint) (*dns.Zone, error) {
 
 // addApex writes the SOA and NS boilerplate of a zone.
 func addApex(z *dns.Zone, origin string) error {
+	return addApexNS(z, origin, "ns1."+origin)
+}
+
+// addApexNS is addApex with an explicit apex nameserver host.
+func addApexNS(z *dns.Zone, origin, ns string) error {
 	if err := z.Add(dns.RR{Name: origin, Type: dns.TypeSOA, TTL: zoneTTL, Data: dns.SOAData{
-		MName: "ns1." + origin, RName: "hostmaster." + origin,
+		MName: ns, RName: "hostmaster." + origin,
 		Serial: 2021060800, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
 	}}); err != nil {
 		return err
 	}
 	return z.Add(dns.RR{Name: origin, Type: dns.TypeNS, TTL: zoneTTL,
-		Data: dns.NSData{Host: "ns1." + origin}})
+		Data: dns.NSData{Host: ns}})
+}
+
+// addAdversaryZones installs the zones the hostile infrastructure
+// serves: parking-operator zones, abuse exchanges, the backup relay and
+// the hijackers' nameserver zones. Hijack relay zones are deliberately
+// absent — their registration lapsed; relay hosts resolve only through
+// the ScenarioResolver's leftover glue.
+func (w *World) addAdversaryZones(cat *dns.Catalog) error {
+	a := w.Adversary
+	if a == nil {
+		return nil
+	}
+	for k, zone := range a.ParkedZones {
+		z := dns.NewZone(zone)
+		if err := addApex(z, zone); err != nil {
+			return err
+		}
+		if err := z.Add(dns.RR{Name: "mx." + zone, Type: dns.TypeA, TTL: zoneTTL,
+			Data: dns.AData{Addr: a.ParkedIPs[k%len(a.ParkedIPs)]}}); err != nil {
+			return err
+		}
+		cat.AddZone(z)
+	}
+	for _, hc := range a.HijackClusters {
+		z := dns.NewZone(hc.DNSZone)
+		if err := addApex(z, hc.DNSZone); err != nil {
+			return err
+		}
+		if err := z.Add(dns.RR{Name: "ns1." + hc.DNSZone, Type: dns.TypeA, TTL: zoneTTL,
+			Data: dns.AData{Addr: hc.RelayAddrs[0]}}); err != nil {
+			return err
+		}
+		cat.AddZone(z)
+	}
+	for _, ac := range a.AbuseClusters {
+		z := dns.NewZone(ac.Zone)
+		if err := addApex(z, ac.Zone); err != nil {
+			return err
+		}
+		if err := z.Add(dns.RR{Name: ac.Exchange, Type: dns.TypeA, TTL: zoneTTL,
+			Data: dns.AData{Addr: ac.Addr}}); err != nil {
+			return err
+		}
+		cat.AddZone(z)
+	}
+	br := a.BackupRelay
+	z := dns.NewZone(br.Zone)
+	if err := addApex(z, br.Zone); err != nil {
+		return err
+	}
+	for i, host := range br.Hosts {
+		if err := z.Add(dns.RR{Name: host, Type: dns.TypeA, TTL: zoneTTL,
+			Data: dns.AData{Addr: br.Addrs[i]}}); err != nil {
+			return err
+		}
+	}
+	cat.AddZone(z)
+	return nil
 }
