@@ -219,22 +219,12 @@ func runFleet(ctx context.Context, opt fleetOptions) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := h.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
-		}
-		hp := healthPath(opt.out)
-		f, err := os.Create(hp)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := h.WriteJSON(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "health report written to %s\n", hp)
+		// Stream.Health cannot see the run's resilience counters — the
+		// merged file does not carry them — so fold in the fleet's sum.
+		// Without this the fleet sidecar reported zero retries no matter
+		// how rough the collection was, unlike the single-worker path.
+		h.Stats = stats.Collection
+		writeHealth(h, opt.out)
 	}
 	fmt.Fprintf(os.Stderr, "measured %d domains, %d IPs with %d workers (%d shards, %d steals) in %v\n",
 		stats.Domains, stats.IPs, stats.Workers, mstats.Shards, stats.Steals,

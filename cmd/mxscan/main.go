@@ -221,27 +221,7 @@ func main() {
 		}
 	}
 	if *health {
-		h := snap.Health()
-		// The per-record dataset goes to stdout; the health summary is
-		// operator-facing and goes to stderr so pipelines stay clean.
-		if err := h.WriteText(os.Stderr); err != nil {
-			log.Fatal(err)
-		}
-		if *out != "" {
-			hp := healthPath(*out)
-			f, err := os.Create(hp)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := h.WriteJSON(f); err != nil {
-				f.Close()
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "health report written to %s\n", hp)
-		}
+		writeHealth(snap.Health(), *out)
 	}
 	fmt.Fprintf(os.Stderr, "measured %d domains, %d IPs in %v\n",
 		len(snap.Domains), len(snap.IPs), time.Since(start).Round(time.Millisecond))
@@ -263,6 +243,33 @@ func jErrReport(mu *sync.Mutex, src *error) {
 	if *src != nil {
 		log.Printf("journal write: %v", *src)
 	}
+}
+
+// writeHealth reports collection health: the per-record dataset goes to
+// stdout or -o, so the operator-facing summary goes to stderr, and when
+// the dataset went to a file the JSON sidecar commits next to it. Both
+// the single-worker and fleet paths end here, so the sidecar carries the
+// same fields regardless of how the snapshot was collected.
+func writeHealth(h *dataset.Health, out string) {
+	if err := h.WriteText(os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+	if out == "" {
+		return
+	}
+	hp := healthPath(out)
+	f, err := os.Create(hp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "health report written to %s\n", hp)
 }
 
 // healthPath derives the health report's path from the dataset's:

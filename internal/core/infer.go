@@ -233,7 +233,24 @@ func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
 	}
 	workers := parallel.Workers(cfg.Parallelism)
 	idx := s.Index()
+	res := inferAssignments(s, idx, approach, cfg, memo, workers)
 
+	// Step 5 — per-domain attribution, sharded over domain positions.
+	// res.MX is read-only from here on, so concurrent map reads are safe.
+	res.Domains = make([]DomainAttribution, len(s.Domains))
+	res.NumDomains = len(s.Domains)
+	parallel.Run(len(s.Domains), workers, func(i int) {
+		res.Domains[i] = attributeDomain(&s.Domains[i], idx.PrimaryMX[i], res.MX, s.IPs)
+	})
+	return res
+}
+
+// inferAssignments runs steps 1-4 plus the trust pass over a
+// materialized snapshot: everything up to (but excluding) per-domain
+// attribution. Shared by Infer and InferDelta — the assignment side is
+// always recomputed in full because its cost is bounded by the
+// distinct-IP and distinct-exchange populations, not the domain count.
+func inferAssignments(s *dataset.Snapshot, idx *dataset.Index, approach Approach, cfg Config, memo *psl.Memo, workers int) *Result {
 	// Step 1 — certificate preprocessing (cert-based and priority only).
 	var groups *CertGroups
 	if approach == ApproachCertBased || approach == ApproachPriority {
@@ -278,14 +295,6 @@ func Infer(s *dataset.Snapshot, approach Approach, cfg Config) *Result {
 		}
 		checkTrust(res, idx.Exchanges, s.IPs, tstats, cfg)
 	}
-
-	// Step 5 — per-domain attribution, sharded over domain positions.
-	// res.MX is read-only from here on, so concurrent map reads are safe.
-	res.Domains = make([]DomainAttribution, len(s.Domains))
-	res.NumDomains = len(s.Domains)
-	parallel.Run(len(s.Domains), workers, func(i int) {
-		res.Domains[i] = attributeDomain(&s.Domains[i], idx.PrimaryMX[i], res.MX, s.IPs)
-	})
 	return res
 }
 

@@ -29,6 +29,15 @@ import (
 // when only the MX assignments matter. The returned Result carries a nil
 // Domains slice — the attributions exist only during their emit call.
 func InferStream(st *dataset.Stream, approach Approach, cfg Config, emit func(DomainAttribution)) (*Result, error) {
+	res, _, err := inferStream(st, approach, cfg, nil, nil, nil, emit)
+	return res, err
+}
+
+// inferStream is the shared implementation behind InferStream (prior ==
+// nil: full run) and InferStreamDelta (reuse prior attributions for
+// domains outside the changed set whose primary assignments are
+// credit-equivalent).
+func inferStream(st *dataset.Stream, approach Approach, cfg Config, prior *Result, priorAtt func(string) (DomainAttribution, bool), changed map[string]bool, emit func(DomainAttribution)) (*Result, DeltaStats, error) {
 	memo := psl.NewMemo(cfg.pslOrDefault())
 	if cfg.ConfidenceThreshold == 0 {
 		cfg.ConfidenceThreshold = 5
@@ -37,7 +46,7 @@ func InferStream(st *dataset.Stream, approach Approach, cfg Config, emit func(Do
 
 	ips, err := st.LoadIPs()
 	if err != nil {
-		return nil, err
+		return nil, DeltaStats{}, err
 	}
 	sortedKeys := make([]string, 0, len(ips))
 	for k := range ips {
@@ -96,7 +105,7 @@ func InferStream(st *dataset.Stream, approach Approach, cfg Config, emit func(Do
 		return nil
 	}, nil)
 	if err != nil {
-		return nil, err
+		return nil, DeltaStats{}, err
 	}
 
 	// Steps 1-4 are identical to the in-memory path: they only consume
@@ -127,17 +136,33 @@ func InferStream(st *dataset.Stream, approach Approach, cfg Config, emit func(Do
 		checkTrust(res, exchanges, ips, tstats, cfg)
 	}
 
-	// Pass B — step 5, one attribution at a time.
+	// Pass B — step 5, one attribution at a time. On a delta run a
+	// domain outside the changed set whose primary assignments are
+	// credit-equivalent to the prior run's reuses its prior attribution
+	// verbatim; see InferDelta for why that is provably identical.
+	var ds DeltaStats
+	usePrior := prior != nil && prior.Approach == approach && priorAtt != nil
 	err = st.ForEach(func(d *dataset.DomainRecord) error {
-		att := attributeDomain(d, d.PrimaryMX(), res.MX, ips)
+		primary := d.PrimaryMX()
+		if usePrior && !changed[d.Domain] && assignmentsEqual(primary, prior.MX, res.MX) {
+			if att, ok := priorAtt(d.Domain); ok {
+				ds.Reused++
+				if emit != nil {
+					emit(att)
+				}
+				return nil
+			}
+		}
+		ds.Reinferred++
+		att := attributeDomain(d, primary, res.MX, ips)
 		if emit != nil {
 			emit(att)
 		}
 		return nil
 	}, nil)
 	if err != nil {
-		return nil, err
+		return nil, DeltaStats{}, err
 	}
 	res.NumDomains = nDomains
-	return res, nil
+	return res, ds, nil
 }

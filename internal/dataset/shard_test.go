@@ -405,6 +405,15 @@ func TestStreamHealthAndBreakdown(t *testing.T) {
 	if !reflect.DeepEqual(gotH, wantH) {
 		t.Errorf("stream health = %+v, want %+v", gotH, wantH)
 	}
+	// The fleet -health path streams the merged file and folds the run's
+	// CollectionStats into the summary afterward; the result must equal
+	// the materialized path's Health() on a snapshot carrying the same
+	// stats, so both sidecars agree field for field.
+	loaded.Stats = CollectionStats{DNSRetries: 3, ScanRetries: 1, BreakerOpens: 2, BreakerSkips: 4}
+	gotH.Stats = loaded.Stats
+	if wantH = loaded.Health(); !reflect.DeepEqual(gotH, wantH) {
+		t.Errorf("stream health with folded stats = %+v, want %+v", gotH, wantH)
+	}
 	gotB, err := st.ComputeBreakdown()
 	if err != nil {
 		t.Fatal(err)

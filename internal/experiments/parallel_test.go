@@ -43,6 +43,54 @@ func TestParallelInferEquivalenceOnWorld(t *testing.T) {
 	}
 }
 
+// TestFig6DeltaChainMatchesFull pins Fig6's incremental inference to
+// the from-scratch baseline: a second study pre-fills its result cache
+// with full inference for every corpus-snapshot, so its assembly pass
+// never reads a delta-chained result, and both studies must render
+// byte-identical charts. The chained study must also have actually
+// reused work — a chain that silently re-infers everything would pass
+// the equality check while defeating the optimization.
+func TestFig6DeltaChainMatchesFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a second world generation")
+	}
+	full, err := NewStudy(world.Config{Seed: 21, Scale: 0.003, TailProviders: 20, SelfISPs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	ctx := context.Background()
+	for _, k := range full.fig6Keys() {
+		if _, err := full.Result(ctx, k.corpus, k.date); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := full.Fig6(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := study(t)
+	got, err := s.Fig6(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(got) {
+		t.Fatalf("panel count %d vs %d", len(ref), len(got))
+	}
+	for i := range ref {
+		var sb1, sb2 strings.Builder
+		ref[i].WriteText(&sb1)
+		got[i].WriteText(&sb2)
+		if sb1.String() != sb2.String() {
+			t.Errorf("panel %d diverged between full and delta-chained inference:\n--- full\n%s\n--- delta\n%s", i, sb1.String(), sb2.String())
+		}
+	}
+	if dt := s.DeltaTotals(); dt.Reused == 0 {
+		t.Errorf("delta totals = %+v: the chains reused nothing", dt)
+	}
+}
+
 // TestFig6ParallelMatchesSerial regenerates Figure 6 with serial and
 // parallel collection on two studies sharing a seed, asserting identical
 // chart text.

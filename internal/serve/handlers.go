@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"context"
+	"strconv"
+)
+
+// handle routes one admitted request. Handlers read from an acquired
+// epoch — never from the Service's mutable state directly — so a
+// concurrent hot-swap can only give them a fully-built store.
+func (s *Server) handle(ctx context.Context, req *request) response {
+	if gate := s.cfg.Gate; gate != nil {
+		gate(req.path)
+	}
+	if req.method != "GET" && !(req.method == "POST" && req.path == "/v1/swap") {
+		return errorResponse(405, "method not allowed")
+	}
+	switch req.path {
+	case "/healthz":
+		return s.handleHealthz()
+	case "/readyz":
+		return s.handleReadyz()
+	case "/v1/domain":
+		return s.handleDomain(req)
+	case "/v1/share":
+		return s.handleShare(req)
+	case "/v1/concentration":
+		return s.handleConcentration()
+	case "/v1/churn":
+		return s.handleChurn()
+	case "/v1/stats":
+		return s.handleStats()
+	case "/v1/swap":
+		return s.handleSwap(ctx, req)
+	}
+	return errorResponse(404, "not found")
+}
+
+// dataStore pins the current epoch for a data endpoint, accounting
+// stale serves. ok=false means no snapshot is loaded yet.
+func (s *Server) dataStore() (e *epoch, store *Store, stale bool, ok bool) {
+	e, store = s.cfg.Service.acquire()
+	if store == nil {
+		return nil, nil, false, false
+	}
+	stale = s.cfg.Service.Stale()
+	if stale {
+		s.stats.staleServes.Add(1)
+	}
+	return e, store, stale, true
+}
+
+var notLoaded = errorResponse(503, "no snapshot loaded")
+
+func (s *Server) handleDomain(req *request) response {
+	name := req.query.Get("name")
+	if name == "" {
+		return errorResponse(400, "missing name parameter")
+	}
+	e, store, stale, ok := s.dataStore()
+	if !ok {
+		return notLoaded
+	}
+	defer s.cfg.Service.release(e)
+	att, found := store.domains[name]
+	s.stats.lookups.Add(1)
+	resp := LookupResponse{Domain: name, Found: found, Stale: stale, Snapshot: store.meta}
+	if found {
+		resp.Primary = att.Primary()
+		resp.Credits = att.Credits
+		resp.Rank = att.Rank
+		resp.HasSMTP = att.HasSMTP
+		resp.Untrusted = att.Untrusted
+	} else {
+		s.stats.lookupMisses.Add(1)
+	}
+	return jsonResponse(200, resp)
+}
+
+func (s *Server) handleShare(req *request) response {
+	e, store, stale, ok := s.dataStore()
+	if !ok {
+		return notLoaded
+	}
+	defer s.cfg.Service.release(e)
+	n := len(store.shares)
+	if raw := req.query.Get("top"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			return errorResponse(400, "top must be a positive integer")
+		}
+		if v < n {
+			n = v
+		}
+	}
+	return jsonResponse(200, ShareResponse{Top: store.shares[:n], Stale: stale, Snapshot: store.meta})
+}
+
+func (s *Server) handleConcentration() response {
+	e, store, stale, ok := s.dataStore()
+	if !ok {
+		return notLoaded
+	}
+	defer s.cfg.Service.release(e)
+	c := store.conc
+	return jsonResponse(200, ConcentrationResponse{
+		HHI: c.HHI, CR1: c.CR1, CR4: c.CR4, CR8: c.CR8,
+		EffectiveCompanies: c.EffectiveCompanies,
+		Stale:              stale,
+		Snapshot:           store.meta,
+	})
+}
+
+func (s *Server) handleChurn() response {
+	svc := s.cfg.Service
+	return jsonResponse(200, ChurnResponse{Swaps: svc.Stats().Swaps, Last: svc.Churn()})
+}
+
+func (s *Server) handleStats() response {
+	return jsonResponse(200, StatsResponse{Server: s.Stats(), Service: s.cfg.Service.Stats()})
+}
+
+func (s *Server) handleSwap(ctx context.Context, req *request) response {
+	if !s.cfg.AllowSwap {
+		return errorResponse(403, "swap endpoint disabled")
+	}
+	path := req.query.Get("path")
+	if path == "" {
+		return errorResponse(400, "missing path parameter")
+	}
+	rep, err := s.cfg.Service.Swap(ctx, path)
+	if err != nil {
+		// The old epoch keeps serving, marked stale; tell the
+		// operator what failed.
+		return errorResponse(500, err.Error())
+	}
+	return jsonResponse(200, rep)
+}
+
+func (s *Server) handleHealthz() response {
+	svc := s.cfg.Service
+	h := HealthResponse{State: svc.State().String(), Stale: svc.Stale()}
+	if meta, ok := svc.Meta(); ok {
+		h.Epoch = meta.Epoch
+	}
+	return jsonResponse(200, h)
+}
+
+func (s *Server) handleReadyz() response {
+	svc := s.cfg.Service
+	r := ReadyResponse{Ready: svc.Ready(), State: svc.State().String(), Stale: svc.Stale()}
+	status := 200
+	if !r.Ready {
+		status = 503
+	}
+	return jsonResponse(status, r)
+}

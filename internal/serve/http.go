@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"strings"
+)
+
+// Wire limits: one request line or header may not exceed maxLineBytes,
+// and a request may carry at most maxHeaderLines headers. Both bound
+// what a hostile client can make the server buffer.
+const (
+	maxLineBytes   = 8192
+	maxHeaderLines = 64
+)
+
+var (
+	errMalformed   = errors.New("serve: malformed request")
+	errLineTooLong = errors.New("serve: request line too long")
+)
+
+// request is one parsed HTTP/1.1 GET/POST request. The service is
+// read-only over small query strings, so bodies are rejected outright.
+type request struct {
+	method string
+	path   string
+	query  url.Values
+	// close records a Connection: close header (or HTTP/1.0 without
+	// keep-alive): the connection ends after this response.
+	close bool
+}
+
+// response is one answer ready to write.
+type response struct {
+	status     int
+	body       []byte
+	retryAfter bool
+	close      bool
+}
+
+// readRequest parses one request off the wire. It returns io.EOF only
+// for a clean close between requests; an EOF mid-request surfaces as a
+// malformed-request error. Timeout errors pass through for the caller
+// to classify against the slowloris deadline.
+func readRequest(br *bufio.Reader) (*request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	method, rest, ok := strings.Cut(line, " ")
+	target, proto, ok2 := strings.Cut(rest, " ")
+	if !ok || !ok2 || method == "" || target == "" ||
+		(proto != "HTTP/1.1" && proto != "HTTP/1.0") {
+		return nil, errMalformed
+	}
+	req := &request{method: method, close: proto == "HTTP/1.0"}
+	path, rawQuery, _ := strings.Cut(target, "?")
+	req.path = path
+	req.query = url.Values{}
+	if rawQuery != "" {
+		q, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			return nil, errMalformed
+		}
+		req.query = q
+	}
+	for i := 0; ; i++ {
+		if i > maxHeaderLines {
+			return nil, errMalformed
+		}
+		h, err := readLine(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil, errMalformed // EOF inside the header block
+			}
+			return nil, err
+		}
+		if h == "" {
+			return req, nil
+		}
+		key, value, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, errMalformed
+		}
+		value = strings.TrimSpace(value)
+		switch strings.ToLower(key) {
+		case "connection":
+			switch strings.ToLower(value) {
+			case "close":
+				req.close = true
+			case "keep-alive":
+				req.close = false
+			}
+		case "content-length":
+			if value != "" && value != "0" {
+				return nil, errMalformed // bodies are not accepted
+			}
+		case "transfer-encoding":
+			return nil, errMalformed
+		}
+	}
+}
+
+// readLine reads one CRLF- (or LF-) terminated line, bounded by
+// maxLineBytes regardless of how much the client pushes.
+func readLine(br *bufio.Reader) (string, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			if len(buf) > maxLineBytes {
+				return "", errLineTooLong
+			}
+			continue
+		}
+		if err == io.EOF && len(buf) > 0 {
+			return "", errMalformed // line cut off mid-flight
+		}
+		return "", err
+	}
+	if len(buf) > maxLineBytes {
+		return "", errLineTooLong
+	}
+	return strings.TrimRight(string(buf), "\r\n"), nil
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 409:
+		return "Conflict"
+	case 429:
+		return "Too Many Requests"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	}
+	return "Status"
+}
+
+// appendResponse serializes r into buf. No Date header: responses are
+// byte-reproducible for the determinism contracts the repo keeps.
+func appendResponse(buf *bytes.Buffer, r response, retryAfterSecs int) {
+	fmt.Fprintf(buf, "HTTP/1.1 %d %s\r\n", r.status, statusText(r.status))
+	buf.WriteString("Content-Type: application/json\r\n")
+	fmt.Fprintf(buf, "Content-Length: %d\r\n", len(r.body))
+	if r.retryAfter {
+		fmt.Fprintf(buf, "Retry-After: %d\r\n", retryAfterSecs)
+	}
+	if r.close {
+		buf.WriteString("Connection: close\r\n")
+	}
+	buf.WriteString("\r\n")
+	buf.Write(r.body)
+}
+
+// jsonResponse marshals v as the response body.
+func jsonResponse(status int, v any) response {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return errorResponse(500, "response encoding failure")
+	}
+	return response{status: status, body: b}
+}
+
+// errorResponse is a JSON error envelope. 400s close the connection:
+// after a malformed request the read position is untrustworthy.
+func errorResponse(status int, msg string) response {
+	b, _ := json.Marshal(errorBody{Error: msg})
+	return response{status: status, body: b, close: status == 400}
+}
