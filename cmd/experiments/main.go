@@ -41,7 +41,7 @@ func main() {
 		only        = flag.String("only", "", "comma-separated subset: fig4,table4,table5,fig5,fig6,fig7,fig8,table6")
 		sample      = flag.Int("sample", 200, "Figure 4 sample size per corpus variant")
 		parallelism = flag.Int("parallelism", 0, "inference/collection worker count (0 = GOMAXPROCS, 1 = serial)")
-		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline, DNS data plane, overload protection, snapshot I/O, and the online query service, writing BENCH_infer.json, BENCH_dns.json, BENCH_serve.json, BENCH_dataset.json, and BENCH_query.json instead of regenerating artifacts (-only infer,dns,serve,dataset,query selects a subset)")
+		runBench    = flag.Bool("bench", false, "benchmark the inference pipeline, DNS data plane, overload protection, snapshot I/O, the online query service, and the HA serving tier, writing BENCH_infer.json, BENCH_dns.json, BENCH_serve.json, BENCH_dataset.json, BENCH_query.json, and BENCH_ha.json instead of regenerating artifacts (-only infer,dns,serve,dataset,query,ha selects a subset)")
 		faults      = flag.Bool("faults", false, "collect a deterministic fault-matrix corpus and write the health report as FAULTS.json instead of regenerating artifacts")
 		misid       = flag.Bool("misid", false, "collect a deterministic adversarial corpus and write the oracle-scored robustness report as MISID.json instead of regenerating artifacts")
 	)
@@ -94,6 +94,11 @@ func main() {
 		}
 		if wanted("query") {
 			if err := runQueryBench(*outDir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if wanted("ha") {
+			if err := runHABench(*outDir); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -1,0 +1,267 @@
+package ha
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicaConfig names one backend and says how to reach it. Dial is the
+// only transport hook: a netsim dialer keeps whole fleets in-process
+// and deterministic, a net.Dialer crosses real sockets (cmd/mxlb).
+type ReplicaConfig struct {
+	// Name labels the replica in stats and reports.
+	Name string
+	// Addr is advertised in ReplicaInfo (informational; Dial decides
+	// where connections actually go).
+	Addr string
+	// Dial opens one connection to the replica.
+	Dial func(ctx context.Context) (net.Conn, error)
+}
+
+// Replica is one pool member's live state: what probing last saw, the
+// failure streak, and the breaker/re-probe schedule. Mutable fields are
+// guarded by mu; the per-replica routing counters are atomics so the
+// forwarding hot path never takes the lock.
+type Replica struct {
+	cfg ReplicaConfig
+	c   *counters
+
+	attempts atomic.Uint64
+	failures atomic.Uint64
+	ejectHis atomic.Uint64
+
+	mu          sync.Mutex
+	ejected     bool
+	ready       bool
+	stale       bool
+	epoch       uint64
+	consecFails int
+	reprobeN    int       // ejected re-probe attempt number (1-based)
+	nextProbe   time.Time // when this replica is next due a probe
+	probed      bool      // at least one probe round has completed
+}
+
+// Name returns the replica's configured label.
+func (r *Replica) Name() string { return r.cfg.Name }
+
+// available reports whether the router may pick this replica: not
+// ejected, and last seen ready.
+func (r *Replica) available() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.ejected && r.ready
+}
+
+// isStale reports the last probed staleness (degradation accounting).
+func (r *Replica) isStale() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stale
+}
+
+// info snapshots the replica's reportable state.
+func (r *Replica) info() ReplicaInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	state := "healthy"
+	if r.ejected {
+		state = "ejected"
+	}
+	return ReplicaInfo{
+		Name:        r.cfg.Name,
+		Addr:        r.cfg.Addr,
+		State:       state,
+		Ready:       r.ready,
+		Stale:       r.stale,
+		Epoch:       r.epoch,
+		ConsecFails: r.consecFails,
+		Attempts:    r.attempts.Load(),
+		Failures:    r.failures.Load(),
+		Ejections:   r.ejectHis.Load(),
+	}
+}
+
+// recordFailure advances the failure streak and trips the breaker at
+// the threshold: the replica stops receiving traffic and is re-probed
+// on an exponential, jittered schedule. Called from both the forward
+// path (passive ejection) and the prober (active ejection).
+func (p *Pool) recordFailure(r *Replica) {
+	threshold := p.cfg.ejectThreshold()
+	r.failures.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails++
+	if r.ejected {
+		// Already tripped: push the next re-probe out exponentially.
+		r.reprobeN++
+		r.nextProbe = p.cfg.now().Add(p.reprobeDelay(r.reprobeN))
+		return
+	}
+	if threshold > 0 && r.consecFails >= threshold {
+		r.ejected = true
+		r.ready = false
+		r.reprobeN = 1
+		r.nextProbe = p.cfg.now().Add(p.reprobeDelay(1))
+		r.ejectHis.Add(1)
+		p.c.ejections.Add(1)
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.Warn("ha: replica ejected",
+				"replica", r.cfg.Name, "consec_fails", r.consecFails)
+		}
+	}
+}
+
+// recordSuccess resets the streak; a success on an ejected replica
+// (necessarily a probe — ejected replicas get no traffic) closes the
+// breaker immediately.
+func (p *Pool) recordSuccess(r *Replica) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consecFails = 0
+	if r.ejected {
+		r.ejected = false
+		r.reprobeN = 0
+		p.c.recoveries.Add(1)
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.Info("ha: replica recovered", "replica", r.cfg.Name)
+		}
+	}
+}
+
+// errAttemptCancelled marks an attempt that lost a hedge race or was
+// abandoned by the budget — the transport error it died with says
+// nothing about the replica's health.
+var errAttemptCancelled = errors.New("ha: attempt cancelled")
+
+// upstreamResponse is one parsed reply from a replica.
+type upstreamResponse struct {
+	status     int
+	body       []byte
+	retryAfter bool
+}
+
+// do runs one HTTP/1.1 exchange against the replica: dial, one
+// Connection: close request, one response. Cancellation (hedge loss,
+// budget expiry, timeout) closes the connection out from under the
+// exchange via context.AfterFunc, so a wedged replica cannot hold an
+// attempt hostage.
+func (r *Replica) do(ctx context.Context, method, target string, timeout time.Duration) (upstreamResponse, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	conn, err := r.cfg.Dial(ctx)
+	if err != nil {
+		return upstreamResponse{}, r.attemptErr(ctx, "dial", err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	req := method + " " + target + " HTTP/1.1\r\nHost: ha\r\nConnection: close\r\n\r\n"
+	if _, err := io.WriteString(conn, req); err != nil {
+		return upstreamResponse{}, r.attemptErr(ctx, "write", err)
+	}
+	resp, err := readUpstream(bufio.NewReader(conn))
+	if err != nil {
+		return upstreamResponse{}, r.attemptErr(ctx, "read", err)
+	}
+	return resp, nil
+}
+
+// attemptErr collapses I/O errors on a cancelled attempt into
+// errAttemptCancelled so the caller never blames the replica for a
+// race the balancer itself decided.
+func (r *Replica) attemptErr(ctx context.Context, op string, err error) error {
+	if ctx.Err() != nil {
+		return errAttemptCancelled
+	}
+	return fmt.Errorf("%s %s: %w", op, r.cfg.Name, err)
+}
+
+// readUpstream parses a bounded HTTP/1.1 response: status line, headers
+// (Content-Length and Retry-After are the only ones interpreted), then
+// exactly Content-Length body bytes.
+func readUpstream(br *bufio.Reader) (upstreamResponse, error) {
+	var resp upstreamResponse
+	line, err := readWireLine(br)
+	if err != nil {
+		return resp, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return resp, fmt.Errorf("malformed status line %q", line)
+	}
+	resp.status, err = strconv.Atoi(parts[1])
+	if err != nil || resp.status < 100 || resp.status > 599 {
+		return resp, fmt.Errorf("malformed status %q", parts[1])
+	}
+	length := -1
+	for i := 0; ; i++ {
+		if i > maxUpstreamHeaders {
+			return resp, errors.New("too many response headers")
+		}
+		h, err := readWireLine(br)
+		if err != nil {
+			return resp, err
+		}
+		if h == "" {
+			break
+		}
+		key, val, ok := strings.Cut(h, ":")
+		if !ok {
+			return resp, fmt.Errorf("malformed header %q", h)
+		}
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "content-length":
+			length, err = strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || length < 0 || length > maxUpstreamBody {
+				return resp, fmt.Errorf("bad content-length %q", val)
+			}
+		case "retry-after":
+			resp.retryAfter = true
+		}
+	}
+	if length < 0 {
+		return resp, errors.New("missing content-length")
+	}
+	resp.body = make([]byte, length)
+	if _, err := io.ReadFull(br, resp.body); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+const (
+	maxUpstreamHeaders = 64
+	maxUpstreamBody    = 16 << 20
+	maxWireLine        = 8192
+)
+
+// readWireLine reads one CRLF-terminated line with a hard size bound.
+func readWireLine(br *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		chunk, err := br.ReadString('\n')
+		b.WriteString(chunk)
+		if b.Len() > maxWireLine {
+			return "", errors.New("response line too long")
+		}
+		if err != nil {
+			return "", err
+		}
+		if strings.HasSuffix(chunk, "\n") {
+			return strings.TrimRight(b.String(), "\r\n"), nil
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package ha
+
+import (
+	"context"
+	"net/url"
+	"os"
+	"strconv"
+	"testing"
+
+	"mxmap/internal/netsim"
+	"mxmap/internal/serve"
+)
+
+func TestRollingRollout(t *testing.T) {
+	oldPath, newPath := writeHAWorlds(t)
+	f := newFleet(t, 3, oldPath, Config{HedgeDelay: noHedge, AllowRollout: true},
+		serve.Config{}, serve.Config{})
+	c := f.client(t)
+
+	var rep RolloutReport
+	c.get("POST", "/v1/rollout?path="+url.QueryEscape(newPath)+"&prev="+url.QueryEscape(oldPath),
+		200, &rep)
+	if !rep.Completed || rep.Aborted != "" || rep.RolledBack != 0 {
+		t.Fatalf("rollout = %+v, want completed cleanly", rep)
+	}
+	if len(rep.Replicas) != 3 {
+		t.Fatalf("rollout touched %d replicas, want 3", len(rep.Replicas))
+	}
+	for i, rr := range rep.Replicas {
+		// Every replica hot-swapped epoch 1 → 2 and the delta path did
+		// the same bounded work on each: one.example and four.example
+		// reused, two.example (migrated) and five.example (new)
+		// reinferred.
+		want := ReplicaRollout{Name: "r" + strconv.Itoa(i), FromEpoch: 1, ToEpoch: 2,
+			Reused: 2, Reinferred: 2, SwapLatencyNS: rr.SwapLatencyNS}
+		if rr != want || rr.SwapLatencyNS < 0 {
+			t.Errorf("replica %d rollout = %+v, want %+v", i, rr, want)
+		}
+	}
+
+	// The whole fleet answers from the new epoch now.
+	for i := 0; i < 3; i++ {
+		var look serve.LookupResponse
+		c.get("GET", "/v1/domain?name=two.example", 200, &look)
+		if look.Primary != "prov-b.net" || look.Snapshot.Date != "2021-02" ||
+			look.Snapshot.Epoch != 2 || look.Stale {
+			t.Fatalf("post-rollout lookup = %+v, want epoch 2 of 2021-02", look)
+		}
+	}
+
+	want := BalancerStats{
+		Requests: 3, Attempts: 3,
+		Probes:   6, // admission round + one verify probe per swap
+		Rollouts: 1, RolloutSwaps: 3,
+	}
+	if got := f.b.Stats(); got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestRolloutAbortHoldsFleet(t *testing.T) {
+	oldPath, _ := writeHAWorlds(t)
+	f := newFleet(t, 3, oldPath, Config{HedgeDelay: noHedge, AllowRollout: true},
+		serve.Config{}, serve.Config{})
+	c := f.client(t)
+
+	// The new snapshot is unreadable: the first replica's load fails,
+	// the rollout aborts immediately, and nothing advanced.
+	var rep RolloutReport
+	c.get("POST", "/v1/rollout?path=/nonexistent.jsonl", 500, &rep)
+	if rep.Completed || rep.Aborted == "" || len(rep.Replicas) != 0 || rep.RolledBack != 0 {
+		t.Fatalf("rollout = %+v, want immediate abort", rep)
+	}
+
+	// The fleet still answers every query from the old epoch. The
+	// failed replica serves it in stale mode (its load failed, and the
+	// marker rides along in its answers); the untouched replicas never
+	// saw the new path at all.
+	for i := 0; i < 3; i++ {
+		var look serve.LookupResponse
+		c.get("GET", "/v1/domain?name=two.example", 200, &look)
+		if look.Primary != "prov-a.net" || look.Snapshot.Date != "2021-01" {
+			t.Fatalf("post-abort lookup = %+v, want old epoch answers", look)
+		}
+		if look.Stale != (i == 0) {
+			t.Fatalf("lookup %d stale = %v, want only the failed replica marked", i, look.Stale)
+		}
+	}
+
+	want := BalancerStats{
+		Requests: 3, Attempts: 3,
+		Probes:   3,
+		Rollouts: 1, RolloutAborts: 1,
+	}
+	if got := f.b.Stats(); got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestRolloutRollbackOnMidFleetFailure(t *testing.T) {
+	oldPath, newPath := writeHAWorlds(t)
+	n := netsim.New()
+	f := &fleet{n: n}
+	var cfg Config
+	cfg.HedgeDelay = noHedge
+	cfg.AllowRollout = true
+	for i := 0; i < 3; i++ {
+		repCfg := serve.Config{}
+		if i == 1 {
+			// Replica 1 sabotages its own swap: the moment the rollout
+			// reaches it, the new snapshot file disappears and its load
+			// fails — after replica 0 already advanced.
+			repCfg.Gate = func(path string) {
+				if path == "/v1/swap" {
+					os.Remove(newPath)
+				}
+			}
+		}
+		svc, srv := startReplica(t, n, replicaAddr(i), oldPath, repCfg)
+		f.svcs = append(f.svcs, svc)
+		f.srvs = append(f.srvs, srv)
+		cfg.Replicas = append(cfg.Replicas, ReplicaConfig{
+			Name: "r" + strconv.Itoa(i), Addr: replicaAddr(i),
+			Dial: fabricDialer(n, replicaAddr(i)),
+		})
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.b = b
+	f.front = startServer(t, n, frontAddr, serve.Config{Handler: b.Handle})
+	b.AttachFront(f.front)
+	b.Pool().ProbeOnce(context.Background())
+	c := f.client(t)
+
+	var rep RolloutReport
+	c.get("POST", "/v1/rollout?path="+url.QueryEscape(newPath)+"&prev="+url.QueryEscape(oldPath),
+		500, &rep)
+	if rep.Completed || rep.Aborted == "" {
+		t.Fatalf("rollout = %+v, want abort at replica 1", rep)
+	}
+	// Replica 0 had advanced to the new epoch and was rolled back.
+	if rep.RolledBack != 1 || len(rep.Replicas) != 1 || !rep.Replicas[0].RolledBack ||
+		rep.Replicas[0].Name != "r0" {
+		t.Fatalf("rollout = %+v, want r0 rolled back", rep)
+	}
+
+	// Fleet convergence: every replica answers from the old snapshot
+	// again — r0 via its rollback swap (epoch 3), r1 stale on epoch 1,
+	// r2 untouched on epoch 1. No client ever sees the aborted epoch.
+	wantEpochs := []uint64{3, 1, 1}
+	wantStale := []bool{false, true, false}
+	for i := 0; i < 3; i++ {
+		var look serve.LookupResponse
+		c.get("GET", "/v1/domain?name=two.example", 200, &look)
+		if look.Primary != "prov-a.net" || look.Snapshot.Date != "2021-01" ||
+			look.Snapshot.Epoch != wantEpochs[i] || look.Stale != wantStale[i] {
+			t.Fatalf("post-rollback lookup %d = %+v, want old-world epoch %d stale=%v",
+				i, look, wantEpochs[i], wantStale[i])
+		}
+	}
+
+	want := BalancerStats{
+		Requests: 3, Attempts: 3,
+		Probes:   5, // admission round + r0 forward verify + r0 rollback verify
+		Rollouts: 1, RolloutSwaps: 1, RolloutAborts: 1, Rollbacks: 1,
+	}
+	if got := f.b.Stats(); got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}

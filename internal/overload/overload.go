@@ -36,17 +36,37 @@ func TransientNetErr(err error) bool {
 		errors.Is(err, syscall.ENOBUFS)
 }
 
+// Delay computes the jittered exponential delay for the n-th
+// consecutive failure (n >= 1): base doubling up to cap, jittered to
+// [d/2, d] through the supplied source so a pool of workers does not
+// retry in lockstep. jitter receives an exclusive upper bound and must
+// return a value in [0, bound); nil jitter uses the global rng. It is
+// the pure core of Backoff, shared with the HA replica re-probe
+// schedule, which needs the same curve without the sleep (and with a
+// deterministic jitter source under frozen-clock tests).
+func Delay(n int, base, maxd time.Duration, jitter func(bound int64) int64) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if maxd < base {
+		maxd = base
+	}
+	d := base << min(n-1, 30)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	if jitter == nil {
+		jitter = rand.Int64N
+	}
+	return d/2 + time.Duration(jitter(int64(d/2)+1))
+}
+
 // Backoff sleeps a jittered exponential delay for the n-th consecutive
 // serve-loop error (n >= 1): base 1ms doubling to a 100ms cap, jittered
 // to [d/2, d] so a pool of workers does not retry in lockstep.
 func Backoff(n int) {
-	if n < 1 {
-		n = 1
-	}
-	d := time.Millisecond << min(n-1, 7)
-	if d > 100*time.Millisecond {
-		d = 100 * time.Millisecond
-	}
-	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
-	time.Sleep(d)
+	time.Sleep(Delay(n, time.Millisecond, 100*time.Millisecond, nil))
 }

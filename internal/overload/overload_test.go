@@ -47,6 +47,80 @@ func TestTransientNetErr(t *testing.T) {
 	}
 }
 
+// zeroJitter pins Delay to its deterministic floor: with jitter ≡ 0 the
+// result is exactly d/2, which makes the doubling curve assertable to
+// the nanosecond.
+func zeroJitter(int64) int64 { return 0 }
+
+// maxJitter returns bound-1, the largest value a conforming jitter
+// source may produce, driving Delay to its ceiling d.
+func maxJitter(bound int64) int64 { return bound - 1 }
+
+func TestDelayCurve(t *testing.T) {
+	base, maxd := time.Millisecond, 100*time.Millisecond
+	cases := []struct {
+		n    int
+		want time.Duration // un-jittered d, asserted via floor d/2
+	}{
+		{1, time.Millisecond},
+		{2, 2 * time.Millisecond},
+		{3, 4 * time.Millisecond},
+		{7, 64 * time.Millisecond},
+		{8, 100 * time.Millisecond}, // 128ms capped
+		{100, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := Delay(tc.n, base, maxd, zeroJitter); got != tc.want/2 {
+			t.Errorf("Delay(%d) floor = %v, want %v", tc.n, got, tc.want/2)
+		}
+		if got := Delay(tc.n, base, maxd, maxJitter); got != tc.want {
+			t.Errorf("Delay(%d) ceiling = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestDelayNormalization(t *testing.T) {
+	// n < 1 is treated as the first failure.
+	if got := Delay(-3, time.Millisecond, time.Second, zeroJitter); got != time.Millisecond/2 {
+		t.Errorf("Delay(-3) = %v, want the n=1 floor", got)
+	}
+	// Non-positive base falls back to 1ms.
+	if got := Delay(1, 0, time.Second, zeroJitter); got != time.Millisecond/2 {
+		t.Errorf("Delay with base 0 = %v, want 500µs", got)
+	}
+	// A cap below base clamps to base: the curve is flat at base.
+	if got := Delay(9, 10*time.Millisecond, time.Millisecond, maxJitter); got != 10*time.Millisecond {
+		t.Errorf("Delay with maxd < base = %v, want base", got)
+	}
+	// Deep shift counts overflow the duration; the cap must absorb
+	// them (the shift is clamped at 30 and the product checked).
+	for _, n := range []int{31, 40, 64, 1 << 20} {
+		if got := Delay(n, time.Second, time.Minute, maxJitter); got != time.Minute {
+			t.Errorf("Delay(%d) = %v, want the 1m cap", n, got)
+		}
+	}
+}
+
+// TestDelayJitterContract pins what the jitter source sees and that the
+// default source stays inside [d/2, d].
+func TestDelayJitterContract(t *testing.T) {
+	var gotBound int64
+	Delay(3, time.Millisecond, time.Second, func(bound int64) int64 {
+		gotBound = bound
+		return 0
+	})
+	// d = 4ms; the exclusive bound is d/2+1 so the ceiling d is reachable.
+	if want := int64(2*time.Millisecond) + 1; gotBound != want {
+		t.Errorf("jitter bound = %d, want %d", gotBound, want)
+	}
+	for i := 0; i < 200; i++ {
+		d := 4 * time.Millisecond
+		if got := Delay(3, time.Millisecond, time.Second, nil); got < d/2 || got > d {
+			t.Fatalf("default-jitter Delay = %v, outside [%v, %v]", got, d/2, d)
+		}
+	}
+}
+
 // TestBackoffBounds pins the sleep envelope: the n-th delay is jittered
 // within [d/2, d] for d = min(1ms<<(n-1), 100ms), so a worker can never
 // stall a serve loop for more than 100ms per retry.

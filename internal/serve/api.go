@@ -105,10 +105,12 @@ type ReadyResponse struct {
 	Stale bool   `json:"stale,omitempty"`
 }
 
-// StatsResponse answers /v1/stats.
+// StatsResponse answers /v1/stats. Latency carries the per-endpoint
+// histograms when the server was built with an observation Clock.
 type StatsResponse struct {
-	Server  ServerStats  `json:"server"`
-	Service ServiceStats `json:"service"`
+	Server  ServerStats                `json:"server"`
+	Service ServiceStats               `json:"service"`
+	Latency map[string]EndpointLatency `json:"latency,omitempty"`
 }
 
 type errorBody struct {

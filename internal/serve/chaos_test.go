@@ -170,10 +170,13 @@ func TestChaosHotSwapFloodZeroLoss(t *testing.T) {
 	const swaps = 6
 	srv := startTestServer(t, n, addr, Config{
 		Service: svc,
-		// Unlimited request concurrency and no deadlines: admission
-		// shedding is tested elsewhere; here every read request must
-		// be answered so the final struct equality is exact.
-		MaxInflight: -1, QueueDepth: -1, RequestTimeout: -1,
+		// Unlimited request concurrency, no deadlines, and no
+		// per-connection request budget: admission shedding is tested
+		// elsewhere; here every read request must be answered so the
+		// final struct equality is exact. (A slow box can push a single
+		// flood connection past the default budget, which would close
+		// it and break the Accepted/BudgetCloses bookkeeping.)
+		MaxInflight: -1, QueueDepth: -1, RequestTimeout: -1, MaxRequests: -1,
 	})
 
 	var stop atomic.Bool

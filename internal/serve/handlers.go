@@ -5,17 +5,22 @@ import (
 	"strconv"
 )
 
-// handle routes one admitted request. Handlers read from an acquired
-// epoch — never from the Service's mutable state directly — so a
-// concurrent hot-swap can only give them a fully-built store.
-func (s *Server) handle(ctx context.Context, req *request) response {
+// handle routes one admitted request: through Config.Handler when one
+// is plugged in (the HA balancer front), otherwise through the built-in
+// Service routes. Service handlers read from an acquired epoch — never
+// from the Service's mutable state directly — so a concurrent hot-swap
+// can only give them a fully-built store.
+func (s *Server) handle(ctx context.Context, req *Request) Response {
 	if gate := s.cfg.Gate; gate != nil {
-		gate(req.path)
+		gate(req.Path)
 	}
-	if req.method != "GET" && !(req.method == "POST" && req.path == "/v1/swap") {
-		return errorResponse(405, "method not allowed")
+	if s.cfg.Handler != nil {
+		return s.cfg.Handler(ctx, req)
 	}
-	switch req.path {
+	if req.Method != "GET" && !(req.Method == "POST" && req.Path == "/v1/swap") {
+		return ErrorResponse(405, "method not allowed")
+	}
+	switch req.Path {
 	case "/healthz":
 		return s.handleHealthz()
 	case "/readyz":
@@ -33,7 +38,7 @@ func (s *Server) handle(ctx context.Context, req *request) response {
 	case "/v1/swap":
 		return s.handleSwap(ctx, req)
 	}
-	return errorResponse(404, "not found")
+	return ErrorResponse(404, "not found")
 }
 
 // dataStore pins the current epoch for a data endpoint, accounting
@@ -50,12 +55,14 @@ func (s *Server) dataStore() (e *epoch, store *Store, stale bool, ok bool) {
 	return e, store, stale, true
 }
 
-var notLoaded = errorResponse(503, "no snapshot loaded")
+// notLoaded carries Retry-After (via ErrorResponse's 503 rule): a
+// loading or load-failed service is worth polling again shortly.
+var notLoaded = ErrorResponse(503, "no snapshot loaded")
 
-func (s *Server) handleDomain(req *request) response {
-	name := req.query.Get("name")
+func (s *Server) handleDomain(req *Request) Response {
+	name := req.Query.Get("name")
 	if name == "" {
-		return errorResponse(400, "missing name parameter")
+		return ErrorResponse(400, "missing name parameter")
 	}
 	e, store, stale, ok := s.dataStore()
 	if !ok {
@@ -74,36 +81,36 @@ func (s *Server) handleDomain(req *request) response {
 	} else {
 		s.stats.lookupMisses.Add(1)
 	}
-	return jsonResponse(200, resp)
+	return JSONResponse(200, resp)
 }
 
-func (s *Server) handleShare(req *request) response {
+func (s *Server) handleShare(req *Request) Response {
 	e, store, stale, ok := s.dataStore()
 	if !ok {
 		return notLoaded
 	}
 	defer s.cfg.Service.release(e)
 	n := len(store.shares)
-	if raw := req.query.Get("top"); raw != "" {
+	if raw := req.Query.Get("top"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v <= 0 {
-			return errorResponse(400, "top must be a positive integer")
+			return ErrorResponse(400, "top must be a positive integer")
 		}
 		if v < n {
 			n = v
 		}
 	}
-	return jsonResponse(200, ShareResponse{Top: store.shares[:n], Stale: stale, Snapshot: store.meta})
+	return JSONResponse(200, ShareResponse{Top: store.shares[:n], Stale: stale, Snapshot: store.meta})
 }
 
-func (s *Server) handleConcentration() response {
+func (s *Server) handleConcentration() Response {
 	e, store, stale, ok := s.dataStore()
 	if !ok {
 		return notLoaded
 	}
 	defer s.cfg.Service.release(e)
 	c := store.conc
-	return jsonResponse(200, ConcentrationResponse{
+	return JSONResponse(200, ConcentrationResponse{
 		HHI: c.HHI, CR1: c.CR1, CR4: c.CR4, CR8: c.CR8,
 		EffectiveCompanies: c.EffectiveCompanies,
 		Stale:              stale,
@@ -111,47 +118,54 @@ func (s *Server) handleConcentration() response {
 	})
 }
 
-func (s *Server) handleChurn() response {
+func (s *Server) handleChurn() Response {
 	svc := s.cfg.Service
-	return jsonResponse(200, ChurnResponse{Swaps: svc.Stats().Swaps, Last: svc.Churn()})
+	return JSONResponse(200, ChurnResponse{Swaps: svc.Stats().Swaps, Last: svc.Churn()})
 }
 
-func (s *Server) handleStats() response {
-	return jsonResponse(200, StatsResponse{Server: s.Stats(), Service: s.cfg.Service.Stats()})
+func (s *Server) handleStats() Response {
+	return JSONResponse(200, StatsResponse{
+		Server:  s.Stats(),
+		Service: s.cfg.Service.Stats(),
+		Latency: s.LatencySnapshot(),
+	})
 }
 
-func (s *Server) handleSwap(ctx context.Context, req *request) response {
+func (s *Server) handleSwap(ctx context.Context, req *Request) Response {
 	if !s.cfg.AllowSwap {
-		return errorResponse(403, "swap endpoint disabled")
+		return ErrorResponse(403, "swap endpoint disabled")
 	}
-	path := req.query.Get("path")
+	path := req.Query.Get("path")
 	if path == "" {
-		return errorResponse(400, "missing path parameter")
+		return ErrorResponse(400, "missing path parameter")
 	}
 	rep, err := s.cfg.Service.Swap(ctx, path)
 	if err != nil {
 		// The old epoch keeps serving, marked stale; tell the
 		// operator what failed.
-		return errorResponse(500, err.Error())
+		return ErrorResponse(500, err.Error())
 	}
-	return jsonResponse(200, rep)
+	return JSONResponse(200, rep)
 }
 
-func (s *Server) handleHealthz() response {
+func (s *Server) handleHealthz() Response {
 	svc := s.cfg.Service
 	h := HealthResponse{State: svc.State().String(), Stale: svc.Stale()}
 	if meta, ok := svc.Meta(); ok {
 		h.Epoch = meta.Epoch
 	}
-	return jsonResponse(200, h)
+	return JSONResponse(200, h)
 }
 
-func (s *Server) handleReadyz() response {
+func (s *Server) handleReadyz() Response {
 	svc := s.cfg.Service
 	r := ReadyResponse{Ready: svc.Ready(), State: svc.State().String(), Stale: svc.Stale()}
-	status := 200
+	resp := JSONResponse(200, r)
 	if !r.Ready {
-		status = 503
+		// Loading and draining both answer 503 with a back-off hint so
+		// balancers and clients know to come back, not give up.
+		resp.Status = 503
+		resp.RetryAfter = true
 	}
-	return jsonResponse(status, r)
+	return resp
 }

@@ -24,30 +24,32 @@ var (
 	errLineTooLong = errors.New("serve: request line too long")
 )
 
-// request is one parsed HTTP/1.1 GET/POST request. The service is
+// Request is one parsed HTTP/1.1 GET/POST request. The service is
 // read-only over small query strings, so bodies are rejected outright.
-type request struct {
-	method string
-	path   string
-	query  url.Values
-	// close records a Connection: close header (or HTTP/1.0 without
+// It is exported so alternative front-ends (the HA balancer) can plug
+// into the Server through Config.Handler.
+type Request struct {
+	Method string
+	Path   string
+	Query  url.Values
+	// Close records a Connection: close header (or HTTP/1.0 without
 	// keep-alive): the connection ends after this response.
-	close bool
+	Close bool
 }
 
-// response is one answer ready to write.
-type response struct {
-	status     int
-	body       []byte
-	retryAfter bool
-	close      bool
+// Response is one answer ready to write.
+type Response struct {
+	Status     int
+	Body       []byte
+	RetryAfter bool
+	Close      bool
 }
 
 // readRequest parses one request off the wire. It returns io.EOF only
 // for a clean close between requests; an EOF mid-request surfaces as a
 // malformed-request error. Timeout errors pass through for the caller
 // to classify against the slowloris deadline.
-func readRequest(br *bufio.Reader) (*request, error) {
+func readRequest(br *bufio.Reader) (*Request, error) {
 	line, err := readLine(br)
 	if err != nil {
 		return nil, err
@@ -58,16 +60,25 @@ func readRequest(br *bufio.Reader) (*request, error) {
 		(proto != "HTTP/1.1" && proto != "HTTP/1.0") {
 		return nil, errMalformed
 	}
-	req := &request{method: method, close: proto == "HTTP/1.0"}
+	// Control bytes never belong in a request line. The space Cuts above
+	// only split on SP, so a bare CR (or NUL, tab, DEL...) would otherwise
+	// ride straight into Path — and from there into anything that
+	// re-serializes the request, a classic request-splitting vector. And
+	// only origin-form targets are served, which also guarantees Path is
+	// never empty (a target of just "?query" would otherwise slip by).
+	if hasCTL(method) || hasCTL(target) || target[0] != '/' {
+		return nil, errMalformed
+	}
+	req := &Request{Method: method, Close: proto == "HTTP/1.0"}
 	path, rawQuery, _ := strings.Cut(target, "?")
-	req.path = path
-	req.query = url.Values{}
+	req.Path = path
+	req.Query = url.Values{}
 	if rawQuery != "" {
 		q, err := url.ParseQuery(rawQuery)
 		if err != nil {
 			return nil, errMalformed
 		}
-		req.query = q
+		req.Query = q
 	}
 	for i := 0; ; i++ {
 		if i > maxHeaderLines {
@@ -92,9 +103,9 @@ func readRequest(br *bufio.Reader) (*request, error) {
 		case "connection":
 			switch strings.ToLower(value) {
 			case "close":
-				req.close = true
+				req.Close = true
 			case "keep-alive":
-				req.close = false
+				req.Close = false
 			}
 		case "content-length":
 			if value != "" && value != "0" {
@@ -104,6 +115,17 @@ func readRequest(br *bufio.Reader) (*request, error) {
 			return nil, errMalformed
 		}
 	}
+}
+
+// hasCTL reports whether s contains an ASCII control byte (including
+// DEL). Multi-byte UTF-8 sequences pass: every byte of those is >= 0x80.
+func hasCTL(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return true
+		}
+	}
+	return false
 }
 
 // readLine reads one CRLF- (or LF-) terminated line, bounded by
@@ -151,40 +173,52 @@ func statusText(code int) string {
 		return "Too Many Requests"
 	case 500:
 		return "Internal Server Error"
+	case 502:
+		return "Bad Gateway"
 	case 503:
 		return "Service Unavailable"
+	case 504:
+		return "Gateway Timeout"
 	}
 	return "Status"
 }
 
 // appendResponse serializes r into buf. No Date header: responses are
 // byte-reproducible for the determinism contracts the repo keeps.
-func appendResponse(buf *bytes.Buffer, r response, retryAfterSecs int) {
-	fmt.Fprintf(buf, "HTTP/1.1 %d %s\r\n", r.status, statusText(r.status))
+func appendResponse(buf *bytes.Buffer, r Response, retryAfterSecs int) {
+	fmt.Fprintf(buf, "HTTP/1.1 %d %s\r\n", r.Status, statusText(r.Status))
 	buf.WriteString("Content-Type: application/json\r\n")
-	fmt.Fprintf(buf, "Content-Length: %d\r\n", len(r.body))
-	if r.retryAfter {
+	fmt.Fprintf(buf, "Content-Length: %d\r\n", len(r.Body))
+	if r.RetryAfter {
 		fmt.Fprintf(buf, "Retry-After: %d\r\n", retryAfterSecs)
 	}
-	if r.close {
+	if r.Close {
 		buf.WriteString("Connection: close\r\n")
 	}
 	buf.WriteString("\r\n")
-	buf.Write(r.body)
+	buf.Write(r.Body)
 }
 
-// jsonResponse marshals v as the response body.
-func jsonResponse(status int, v any) response {
+// JSONResponse marshals v as the response body.
+func JSONResponse(status int, v any) Response {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return errorResponse(500, "response encoding failure")
+		return ErrorResponse(500, "response encoding failure")
 	}
-	return response{status: status, body: b}
+	return Response{Status: status, Body: b}
 }
 
-// errorResponse is a JSON error envelope. 400s close the connection:
-// after a malformed request the read position is untrustworthy.
-func errorResponse(status int, msg string) response {
+// ErrorResponse is a JSON error envelope. 400s close the connection:
+// after a malformed request the read position is untrustworthy. Every
+// unavailability answer (429 by its caller, 503/504 here) carries
+// Retry-After so clients always get a back-off hint — the loading,
+// draining, and degraded paths included, not just queue shedding.
+func ErrorResponse(status int, msg string) Response {
 	b, _ := json.Marshal(errorBody{Error: msg})
-	return response{status: status, body: b, close: status == 400}
+	return Response{
+		Status:     status,
+		Body:       b,
+		Close:      status == 400,
+		RetryAfter: status == 503 || status == 504,
+	}
 }

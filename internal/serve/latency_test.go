@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mxmap/internal/netsim"
+)
+
+func TestLatencyBucketPlacement(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 0}, // sub-microsecond floors to 0
+		{time.Microsecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{500 * time.Microsecond, 9},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{5 * time.Second, 23},
+		{time.Hour, NumLatencyBuckets - 1}, // clamped to the last bucket
+	}
+	for _, tc := range cases {
+		if got := latencyBucket(tc.d); got != tc.want {
+			t.Errorf("latencyBucket(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if got := BucketBound(0); got != time.Microsecond {
+		t.Errorf("BucketBound(0) = %v, want 1µs", got)
+	}
+	if got := BucketBound(-3); got != time.Microsecond {
+		t.Errorf("BucketBound(-3) = %v, want 1µs", got)
+	}
+	if got := BucketBound(9); got != 512*time.Microsecond {
+		t.Errorf("BucketBound(9) = %v, want 512µs", got)
+	}
+	// The unbounded final bucket reports the previous bucket's bound.
+	if got, prev := BucketBound(NumLatencyBuckets-1), BucketBound(NumLatencyBuckets-2); got != prev {
+		t.Errorf("final BucketBound = %v, want %v", got, prev)
+	}
+	// Every observable duration lands strictly below its bucket's bound
+	// (except in the final catch-all bucket).
+	for _, d := range []time.Duration{time.Nanosecond, time.Microsecond,
+		17 * time.Microsecond, time.Millisecond, 800 * time.Millisecond} {
+		b := latencyBucket(d)
+		if d >= BucketBound(b) {
+			t.Errorf("%v placed in bucket %d but bound is %v", d, b, BucketBound(b))
+		}
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	var empty LatencyBuckets
+	if _, ok := empty.Quantile(0.5); ok {
+		t.Error("empty histogram produced a quantile")
+	}
+
+	var h LatencyHist
+	// 90 fast observations (bucket 9: 256–512µs) and 10 slow ones
+	// (bucket 10: 512µs–1.024ms): p50 is the fast bucket's bound, p99 the
+	// slow one's.
+	for i := 0; i < 90; i++ {
+		h.Observe(300 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(600 * time.Microsecond)
+	}
+	b := h.Snapshot()
+	if b.Count() != 100 || b[9] != 90 || b[10] != 10 {
+		t.Fatalf("buckets = %+v, want 90 in #9 and 10 in #10", b)
+	}
+	if p50, _ := b.Quantile(0.50); p50 != 512*time.Microsecond {
+		t.Errorf("p50 = %v, want 512µs", p50)
+	}
+	if p99, _ := b.Quantile(0.99); p99 != 1024*time.Microsecond {
+		t.Errorf("p99 = %v, want 1024µs", p99)
+	}
+	// Quantiles are clamped, not rejected, outside (0, 1].
+	if lo, _ := b.Quantile(-5); lo != 512*time.Microsecond {
+		t.Errorf("clamped low quantile = %v, want first bucket bound", lo)
+	}
+	if hi, _ := b.Quantile(7); hi != 1024*time.Microsecond {
+		t.Errorf("clamped high quantile = %v, want last bucket bound", hi)
+	}
+}
+
+func TestEndpointIndex(t *testing.T) {
+	for i := 0; i < NumEndpoints-1; i++ {
+		if got := EndpointIndex(EndpointLabel(i)); got != i {
+			t.Errorf("EndpointIndex(%s) = %d, want %d", EndpointLabel(i), got, i)
+		}
+	}
+	other := NumEndpoints - 1
+	for _, p := range []string{"/", "/v1/unknown", "", "/v1/domain/x"} {
+		if got := EndpointIndex(p); got != other {
+			t.Errorf("EndpointIndex(%q) = %d, want the shared %d slot", p, got, other)
+		}
+	}
+}
+
+// steppedClock advances a fixed amount per read so every request's
+// begin/end pair observes exactly one step.
+type steppedClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (c *steppedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// TestServerLatencyHistograms drives real requests under a stepped
+// clock and asserts the exact per-endpoint histogram contents as
+// exposed through LatencySnapshot, LatencyQuantile, and /v1/stats.
+func TestServerLatencyHistograms(t *testing.T) {
+	oldPath, _ := writeServeWorlds(t)
+	svc := servingService(t, oldPath)
+	n := netsim.New()
+	const addr = "203.0.113.40:80"
+	clk := &steppedClock{t: time.Unix(1700000000, 0), step: 500 * time.Microsecond}
+	srv := startTestServer(t, n, addr, Config{Service: svc, Clock: clk.Now})
+	c := dialClient(t, n, addr)
+
+	// Three lookups and one health check, each measured at exactly one
+	// 500µs clock step: bucket 9 (256–512µs) on their endpoints.
+	for i := 0; i < 3; i++ {
+		c.get("GET", "/v1/domain?name=one.example", 200, nil)
+	}
+	c.get("GET", "/healthz", 200, nil)
+
+	wantDomain := LatencyBuckets{9: 3}
+	snap := srv.LatencySnapshot()
+	if got := snap["/v1/domain"]; got.Count != 3 || got.Buckets != wantDomain ||
+		got.P50NS != 512000 || got.P99NS != 512000 {
+		t.Fatalf("/v1/domain latency = %+v, want exactly 3 in bucket 9", got)
+	}
+	if got := snap["/healthz"]; got.Count != 1 || got.Buckets != (LatencyBuckets{9: 1}) {
+		t.Fatalf("/healthz latency = %+v, want exactly 1 in bucket 9", got)
+	}
+	if _, ok := snap["/v1/share"]; ok {
+		t.Fatal("endpoint with no traffic has a histogram")
+	}
+
+	if q, cnt := srv.LatencyQuantile("/v1/domain", 0.99); q != 512*time.Microsecond || cnt != 3 {
+		t.Fatalf("LatencyQuantile = %v over %d, want 512µs over 3", q, cnt)
+	}
+	if q, cnt := srv.LatencyQuantile("/v1/share", 0.99); q != 0 || cnt != 0 {
+		t.Fatalf("untouched endpoint quantile = %v over %d, want zeros", q, cnt)
+	}
+
+	// The same numbers ride /v1/stats for operators; the stats request
+	// itself is measured too, so its own endpoint appears.
+	var stats StatsResponse
+	c.get("GET", "/v1/stats", 200, &stats)
+	if got := stats.Latency["/v1/domain"]; got.Count != 3 || got.Buckets != wantDomain {
+		t.Fatalf("stats latency = %+v, want the domain histogram", got)
+	}
+}
+
+// TestLatencyDisabledWithoutClock pins the opt-in contract: no Clock,
+// no measurement, and /v1/stats omits the latency map entirely.
+func TestLatencyDisabledWithoutClock(t *testing.T) {
+	oldPath, _ := writeServeWorlds(t)
+	svc := servingService(t, oldPath)
+	n := netsim.New()
+	const addr = "203.0.113.41:80"
+	srv := startTestServer(t, n, addr, Config{Service: svc})
+	c := dialClient(t, n, addr)
+	c.get("GET", "/v1/domain?name=one.example", 200, nil)
+	if snap := srv.LatencySnapshot(); snap != nil {
+		t.Fatalf("clockless snapshot = %+v, want nil", snap)
+	}
+	var stats StatsResponse
+	c.get("GET", "/v1/stats", 200, &stats)
+	if stats.Latency != nil {
+		t.Fatalf("clockless stats latency = %+v, want omitted", stats.Latency)
+	}
+}

@@ -42,14 +42,26 @@ const (
 	maxConsecutiveAcceptErrs = 16
 )
 
-// Config parameterizes a Server. Service is required; every other zero
-// value takes the default above, and negative values disable the
-// corresponding limit.
+// Handler answers one admitted request. The Server owns the sockets,
+// admission control, deadlines, and drain bookkeeping; the handler owns
+// routing. The HA balancer plugs in here to reuse the whole overload
+// kit in front of a replica fleet.
+type Handler func(ctx context.Context, req *Request) Response
+
+// Config parameterizes a Server. One of Service or Handler is required;
+// every other zero value takes the default above, and negative values
+// disable the corresponding limit.
 type Config struct {
-	// Service answers the queries.
+	// Service answers the queries through the built-in routes. Ignored
+	// when Handler is set (a Handler may still consult a Service of its
+	// own).
 	Service *Service
+	// Handler, when set, replaces the built-in Service routing: every
+	// admitted request is dispatched to it instead.
+	Handler Handler
 	// MaxConns caps concurrent connections; beyond it new connections
-	// are answered 429 and closed before any request is read.
+	// are answered 429 and closed before any request is read. Negative
+	// disables the cap.
 	MaxConns int
 	// MaxInflight caps requests executing concurrently.
 	MaxInflight int
@@ -81,6 +93,13 @@ type Config struct {
 	// request path. Tests and benchmarks use it to hold requests at a
 	// deterministic point; nil in production.
 	Gate func(path string)
+	// Clock, when set, turns on per-endpoint latency histograms: it is
+	// read exactly twice per request (begin and end) and the measured
+	// duration lands in the endpoint's log-scale buckets, exposed via
+	// LatencySnapshot and /v1/stats. Nil disables observation, keeping
+	// whole-struct counter assertions free of wall-clock buckets. A
+	// stepped test clock makes every bucket count byte-reproducible.
+	Clock func() time.Time
 	// Logger receives connection-level debug records; nil disables.
 	Logger *slog.Logger
 }
@@ -91,6 +110,7 @@ type Server struct {
 	sem      chan struct{} // connection admission
 	inflight chan struct{} // request execution slots
 	stats    serverCounters
+	lat      [NumEndpoints]LatencyHist
 
 	mu       sync.Mutex
 	lns      []net.Listener
@@ -111,8 +131,8 @@ type servConn struct {
 
 // NewServer validates cfg and creates a server.
 func NewServer(cfg Config) (*Server, error) {
-	if cfg.Service == nil {
-		return nil, errors.New("serve: config requires a Service")
+	if cfg.Service == nil && cfg.Handler == nil {
+		return nil, errors.New("serve: config requires a Service or a Handler")
 	}
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = DefaultMaxConns
@@ -188,8 +208,8 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.stats.rejected.Add(1)
 			conn.SetWriteDeadline(time.Now().Add(time.Second))
 			var buf bytes.Buffer
-			r := errorResponse(429, "server connection limit reached")
-			r.retryAfter, r.close = true, true
+			r := ErrorResponse(429, "server connection limit reached")
+			r.RetryAfter, r.Close = true, true
 			appendResponse(&buf, r, s.cfg.RetryAfterSecs)
 			conn.Write(buf.Bytes())
 			conn.Close()
@@ -259,25 +279,32 @@ func (s *Server) serveConn(nc net.Conn) {
 				// books still balance to zero lost.
 				s.stats.requests.Add(1)
 				s.stats.badRequests.Add(1)
-				s.writeResponse(c, errorResponse(400, "malformed request"))
+				s.writeResponse(c, ErrorResponse(400, "malformed request"))
 				s.stats.responses.Add(1)
 			}
 			return
 		}
 		s.stats.requests.Add(1)
 		s.setBusy(c, true)
+		var begin time.Time
+		if s.cfg.Clock != nil {
+			begin = s.cfg.Clock()
+		}
 		resp := s.process(req)
+		if s.cfg.Clock != nil {
+			s.lat[EndpointIndex(req.Path)].Observe(s.cfg.Clock().Sub(begin))
+		}
 		served++
-		closing := req.close || s.stopping()
+		closing := req.Close || s.stopping()
 		if !closing && s.cfg.MaxRequests > 0 && served >= s.cfg.MaxRequests {
 			s.stats.budgetCloses.Add(1)
 			closing = true
 		}
-		resp.close = resp.close || closing
+		resp.Close = resp.Close || closing
 		werr := s.writeResponse(c, resp)
 		s.stats.responses.Add(1)
 		s.setBusy(c, false)
-		if werr != nil || resp.close {
+		if werr != nil || resp.Close {
 			return
 		}
 	}
@@ -285,11 +312,11 @@ func (s *Server) serveConn(nc net.Conn) {
 
 // process applies request-level admission control and executes the
 // handler under the request deadline.
-func (s *Server) process(req *request) response {
+func (s *Server) process(req *Request) Response {
 	if !s.acquireSlot() {
 		s.stats.shed.Add(1)
-		r := errorResponse(429, "overloaded, retry later")
-		r.retryAfter = true
+		r := ErrorResponse(429, "overloaded, retry later")
+		r.RetryAfter = true
 		return r
 	}
 	if s.cfg.RequestTimeout < 0 {
@@ -298,7 +325,7 @@ func (s *Server) process(req *request) response {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
-	done := make(chan response, 1)
+	done := make(chan Response, 1)
 	go func() {
 		defer s.releaseSlot()
 		done <- s.handle(ctx, req)
@@ -310,7 +337,7 @@ func (s *Server) process(req *request) response {
 		// The abandoned handler keeps its inflight slot until it
 		// finishes; the client gets its answer now.
 		s.stats.timeouts.Add(1)
-		return errorResponse(503, "request deadline exceeded")
+		return ErrorResponse(503, "request deadline exceeded")
 	}
 }
 
@@ -358,7 +385,7 @@ func (s *Server) releaseSlot() {
 	}
 }
 
-func (s *Server) writeResponse(c *servConn, r response) error {
+func (s *Server) writeResponse(c *servConn, r Response) error {
 	var buf bytes.Buffer
 	appendResponse(&buf, r, s.cfg.RetryAfterSecs)
 	if s.cfg.WriteTimeout > 0 {
@@ -429,7 +456,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
-	if first {
+	if first && s.cfg.Service != nil {
 		s.cfg.Service.BeginDrain()
 	}
 	for _, ln := range lns {
